@@ -1,0 +1,53 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) and prints the same rows/series the
+paper reports.  Reports are also written to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — dataset scale: tiny | small | medium | paper
+  (default small; the paper's dataset sizes are much slower in Python);
+* ``REPRO_BENCH_SIZES``  — comma-separated core counts for the scalability
+  sweeps (default ``1,8,64,256,1024`` — the paper's mesh sizes);
+* ``REPRO_BENCH_VALIDATION_SIZES`` — core counts for the cycle-level
+  validation figures (default ``1,2,4,8,16,32,64`` — the paper's range);
+* ``REPRO_BENCH_SEEDS``  — comma-separated dataset seeds (default ``0``;
+  the paper averages 50 datasets per benchmark).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def _int_list(var: str, default: str) -> tuple:
+    raw = os.environ.get(var, default)
+    return tuple(int(x) for x in raw.split(",") if x.strip())
+
+
+def bench_sizes() -> tuple:
+    return _int_list("REPRO_BENCH_SIZES", "1,8,64,256,1024")
+
+
+def validation_sizes() -> tuple:
+    return _int_list("REPRO_BENCH_VALIDATION_SIZES", "1,2,4,8,16,32,64")
+
+
+def bench_seeds() -> tuple:
+    return _int_list("REPRO_BENCH_SEEDS", "0")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

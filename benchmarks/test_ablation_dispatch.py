@@ -1,0 +1,77 @@
+"""Ablation A3: heterogeneity-aware task dispatch (paper future work).
+
+The paper's conclusion predicts that scheduling policies aware of "the
+latency and computing power disparity among cores" would substantially
+improve the polymorphic and clustered results.  This ablation measures
+the implemented policies against the paper's occupancy-only dispatch.
+"""
+
+from repro.harness import dispatch_ablation
+from repro.harness.report import format_table
+
+from conftest import bench_scale, bench_seeds, emit
+
+
+def test_ablation_dispatch_policies(benchmark):
+    result = benchmark.pedantic(
+        dispatch_ablation,
+        kwargs=dict(n_cores=64, scale=bench_scale(), seeds=bench_seeds()),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for name in sorted(result["polymorphic"]):
+        for dispatch, vtime in result["polymorphic"][name].items():
+            rows.append([name, "polymorphic", dispatch, vtime])
+        for dispatch, vtime in result["clustered"][name].items():
+            rows.append([name, "clustered x4", dispatch, vtime])
+    text = format_table(
+        ["benchmark", "architecture", "dispatch", "virtual time"],
+        rows,
+        title="Dispatch-policy ablation on 64 cores",
+    )
+    chg_rows = [
+        [name, pct] for name, pct in
+        sorted(result["poly_speedaware_change_pct"].items())
+    ]
+    text += "\n\n" + format_table(
+        ["benchmark", "speed-aware vs occupancy % (negative = faster)"],
+        chg_rows,
+        title="Polymorphic meshes: effect of speed-aware dispatch",
+    )
+    emit("ablation_dispatch", text)
+
+    # The future-work hypothesis: speed-aware dispatch does not hurt, and
+    # helps at least one benchmark substantially on polymorphic meshes.
+    changes = result["poly_speedaware_change_pct"].values()
+    assert min(changes) < 0.0, "speed-aware dispatch helped nothing"
+    assert max(changes) < 25.0, "speed-aware dispatch badly hurt something"
+
+
+def test_parallel_host_feasibility(benchmark):
+    """Section VIII: from 64-core networks on, enough cores are runnable
+    concurrently under spatial sync to keep a multi-core host busy."""
+    from repro.harness import parallelism_study
+
+    result = benchmark.pedantic(
+        parallelism_study,
+        kwargs=dict(sizes=(16, 64, 256), scale=bench_scale(),
+                    seeds=bench_seeds(), benchmark="octree"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [n, data["mean"], data["p95"], data["max"], data["samples"]]
+        for n, data in sorted(result["by_cores"].items())
+    ]
+    emit("ablation_parallel_host", format_table(
+        ["simulated cores", "mean runnable", "p95", "max", "samples"],
+        rows,
+        title="Concurrently runnable cores under spatial sync (octree)",
+    ))
+
+    by_cores = result["by_cores"]
+    # More simulated cores => at least as much available parallelism, and
+    # a 64-core network already offers a typical host's worth (>= 4).
+    assert by_cores[64]["mean"] >= 4.0
+    assert by_cores[256]["max"] >= by_cores[16]["max"]

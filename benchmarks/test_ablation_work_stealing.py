@@ -1,0 +1,83 @@
+"""Ablation A4: push-only conditional spawning vs work stealing.
+
+The paper's run-time only pushes work (probe + spawn to neighbours); Cilk's
+distributed flavour steals when local task sources are depleted (paper,
+Section IV, discussing [32]).  This ablation measures the optional
+steal extension on the dwarfs and on a synthetic saturated-neighbourhood
+workload where pull-based balancing is known to help.
+"""
+
+import dataclasses
+
+from repro.arch import build_machine, shared_mesh
+from repro.core.task import TaskGroup
+from repro.harness import run_benchmark
+from repro.harness.report import format_table
+
+from conftest import bench_scale, bench_seeds, emit
+
+
+def _hotspot_root(n_tasks=32, actions=400, cycles=20.0):
+    def worker(ctx):
+        for _ in range(actions):
+            yield ctx.compute(cycles=cycles)
+
+    def root(ctx):
+        group = TaskGroup()
+        for _ in range(n_tasks):
+            yield from ctx.spawn_or_inline(worker, group=group)
+        yield ctx.join(group)
+        done = yield ctx.now()
+        return {"output": None, "work_vtime": done}
+
+    return root
+
+
+def _run_ablation():
+    rows = []
+    for name in ("octree", "quicksort", "connected_components"):
+        vt = {}
+        steals = {}
+        for stealing in (False, True):
+            vts = []
+            for seed in bench_seeds():
+                cfg = dataclasses.replace(shared_mesh(64),
+                                          work_stealing=stealing)
+                record = run_benchmark(name, cfg, scale=bench_scale(),
+                                       seed=seed)
+                vts.append(record.vtime)
+            vt[stealing] = sum(vts) / len(vts)
+        rows.append([name, vt[False], vt[True],
+                     100.0 * (vt[True] - vt[False]) / vt[False]])
+
+    # The synthetic hotspot: long tasks saturating one neighbourhood.
+    vt = {}
+    success = 0
+    for stealing in (False, True):
+        cfg = dataclasses.replace(shared_mesh(64), work_stealing=stealing)
+        machine = build_machine(cfg)
+        result = machine.run(_hotspot_root())
+        vt[stealing] = result["work_vtime"]
+        if stealing:
+            success = machine.runtime.steals_successful
+    rows.append(["hotspot (synthetic)", vt[False], vt[True],
+                 100.0 * (vt[True] - vt[False]) / vt[False]])
+    return rows, vt, success
+
+
+def test_ablation_work_stealing(benchmark):
+    rows, hotspot_vt, steals = benchmark.pedantic(
+        _run_ablation, rounds=1, iterations=1,
+    )
+    emit("ablation_work_stealing", format_table(
+        ["benchmark", "push-only vtime", "with stealing",
+         "change % (negative = stealing wins)"],
+        rows,
+        title="Work-stealing ablation on 64 cores",
+    ))
+    # Stealing must help the hotspot workload and actually steal.
+    assert hotspot_vt[True] < hotspot_vt[False]
+    assert steals > 0
+    # And it must not catastrophically hurt the dwarfs.
+    for row in rows[:-1]:
+        assert row[3] < 50.0, f"{row[0]}: stealing badly hurt performance"

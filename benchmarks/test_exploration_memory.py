@@ -1,0 +1,62 @@
+"""Exploration E1: the paper's memory-organization spectrum (Section III).
+
+"Different memory organizations are possible, from a single shared memory
+with uniform latency to fully distributed banks with or without hardware
+coherence."  This benchmark sweeps all three points of that spectrum —
+optimistic shared memory, NUMA (home-pinned banks + hardware coherence),
+and run-time-managed migrating cells — over the contended and data-light
+dwarfs, showing the design-space exploration use case end to end.
+"""
+
+import dataclasses
+
+from repro.arch import dist_mesh, numa_mesh, shared_mesh
+from repro.harness import run_benchmark
+from repro.harness.report import format_table
+
+from conftest import bench_scale, bench_seeds, emit
+
+ORGANIZATIONS = (
+    ("shared (uniform)", shared_mesh),
+    ("numa (+coherence)", numa_mesh),
+    ("distributed (cells)", dist_mesh),
+)
+
+
+def _run():
+    rows = []
+    results = {}
+    for name in ("connected_components", "dijkstra", "quicksort", "spmxv"):
+        per_org = {}
+        for label, factory in ORGANIZATIONS:
+            vts = []
+            for seed in bench_seeds():
+                record = run_benchmark(name, factory(64), scale=bench_scale(),
+                                       seed=seed)
+                vts.append(record.vtime)
+            per_org[label] = sum(vts) / len(vts)
+        results[name] = per_org
+        base = per_org["shared (uniform)"]
+        rows.append([name] + [per_org[label] / base
+                              for label, _ in ORGANIZATIONS])
+    return rows, results
+
+
+def test_exploration_memory_organizations(benchmark):
+    rows, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("exploration_memory", format_table(
+        ["benchmark"] + [label for label, _ in ORGANIZATIONS],
+        rows,
+        title="Virtual time by memory organization on 64 cores "
+              "(normalized to shared)",
+    ))
+
+    # Contended benchmarks pay progressively more as sharing gets harder;
+    # data-light benchmarks barely care.
+    for name in ("connected_components", "dijkstra"):
+        per = results[name]
+        assert per["numa (+coherence)"] >= per["shared (uniform)"], name
+    for name in ("quicksort", "spmxv"):
+        per = results[name]
+        ratio = per["distributed (cells)"] / per["shared (uniform)"]
+        assert ratio < 2.5, f"{name} should be insensitive to memory org"

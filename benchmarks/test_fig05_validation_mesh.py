@@ -1,0 +1,42 @@
+"""Figure 5 + Section VI error table: cycle-level validation, uniform mesh.
+
+Regenerates the paper's comparison of SiMany (VT) against the cycle-level
+referee (CL) for Barnes-Hut, Connected Components, Quicksort and SpMxV on
+uniform shared-memory 2D meshes, including the geometric-mean speedup
+errors (paper: 8.8 % at 16 cores, 18.8 % at 32, 22.9 % at 64).
+"""
+
+from repro.harness import validation_experiment
+from repro.harness.ascii_chart import render_loglog
+from repro.harness.report import format_validation
+
+from conftest import bench_scale, bench_seeds, emit, validation_sizes
+
+
+def test_fig05_uniform_mesh_validation(benchmark):
+    result = benchmark.pedantic(
+        validation_experiment,
+        kwargs=dict(
+            sizes=validation_sizes(),
+            scale=bench_scale(),
+            seeds=bench_seeds(),
+            polymorphic=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    chart_curves = {}
+    for name in result["vt"]:
+        chart_curves[name + " VT"] = result["vt"][name]
+        chart_curves[name + " CL"] = result["cl"][name]
+    emit("fig05_validation_mesh", format_validation(result) + "\n\n" + render_loglog(chart_curves, title="Figure 5 (log-log)"))
+    # Shape assertions: every benchmark's VT curve tracks CL's direction.
+    for name, vt_curve in result["vt"].items():
+        cl_curve = result["cl"][name]
+        sizes = sorted(vt_curve)
+        assert vt_curve[1] == 1.0 and cl_curve[1] == 1.0
+        # Both simulators agree on whether the benchmark scales at all.
+        top = sizes[-1]
+        assert (vt_curve[top] > 1.0) == (cl_curve[top] > 1.0), name
+    for n, err in result["errors"].items():
+        assert err < 2.0, f"error at {n} cores implausibly large"

@@ -1,0 +1,46 @@
+"""Figure 7: average normalized simulation time + square-law regression.
+
+Regenerates the paper's simulation-cost series: wall-clock time of the
+simulation normalized to native execution of the same computation, per
+benchmark and simulated core count (both memory organizations, like the
+paper's "all architecture configurations"), plus the power-law regression
+the paper summarizes as "simulation time increases as a square law with a
+small coefficient".
+
+Absolute normalized values differ from the paper's (their simulator runs
+annotated native C; ours interprets Python generators), but the growth law
+with simulated core count is the machine-independent claim.
+"""
+
+from repro.harness import simtime_experiment
+from repro.harness.report import format_curves, format_power_law
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+
+def test_fig07_normalized_simulation_time(benchmark):
+    result = benchmark.pedantic(
+        simtime_experiment,
+        kwargs=dict(
+            sizes=bench_sizes(),
+            scale=bench_scale(),
+            seeds=bench_seeds(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_curves(
+        result["normalized"], result["sizes"],
+        title="Normalized simulation time (sim wall / native wall)",
+        value_label="normalized simulation time",
+    )
+    text += "\n\n" + format_power_law(result["power_law"])
+    emit("fig07_simtime", text)
+
+    for name, series in result["normalized"].items():
+        for value in series.values():
+            assert value > 1.0, f"{name}: simulation cannot beat native"
+    # The paper's square law: growth exponents stay at or below ~2 (with a
+    # generous band for host noise at small scales).
+    for name, (a, b) in result["power_law"].items():
+        assert -0.5 < b < 3.0, f"{name}: implausible growth exponent {b}"

@@ -1,0 +1,51 @@
+"""Figure 8: speedups on regular 2D meshes, optimistic shared memory.
+
+Regenerates the scalability series for all six dwarfs on the shared-memory
+architecture type.  Paper shape: Dijkstra super-linear (their datasets
+reach 4282x); SpMxV scales well then suddenly tops (dataset size); the
+theoretical maximum for Quicksort is log2(n)/2; most benchmarks gain
+little (or lose) between 256 and 1024 cores.
+"""
+
+import math
+
+from repro.harness import sharedmem_experiment
+from repro.harness.ascii_chart import render_loglog
+from repro.harness.report import format_curves
+from repro.workloads import get_workload
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+
+def test_fig08_sharedmem_speedups(benchmark):
+    sizes = bench_sizes()
+    result = benchmark.pedantic(
+        sharedmem_experiment,
+        kwargs=dict(sizes=sizes, scale=bench_scale(), seeds=bench_seeds()),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_curves(
+        result["curves"], result["sizes"],
+        title="Regular 2D mesh speedups (shared memory)",
+    )
+    text += "\n\n" + render_loglog(
+        result["curves"], title="Figure 8 (log-log)",
+    )
+    emit("fig08_sharedmem", text)
+
+    curves = result["curves"]
+    top = max(sizes)
+    mid = sizes[len(sizes) // 2]
+
+    # Dijkstra is super-linear on optimistic shared memory.
+    assert curves["dijkstra"][top] > top / 4 or curves["dijkstra"][mid] > mid
+
+    # Quicksort bounded by its critical path.
+    n = get_workload("quicksort", scale=bench_scale()).meta["n"]
+    assert curves["quicksort"][top] <= math.log2(n) / 2 + 1.0
+
+    # Nothing (except possibly Dijkstra's pruning artefacts) collapses on
+    # this architecture: speedups at the top stay above 1.
+    for name, curve in curves.items():
+        assert curve[top] > 1.0 or name == "connected_components", name

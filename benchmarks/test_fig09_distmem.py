@@ -1,0 +1,48 @@
+"""Figure 9: speedups on regular 2D meshes, distributed memory.
+
+Paper shape: Quicksort's and SpMxV's results do not significantly change
+versus shared memory (little data movement, no cell contention); the
+data-contended benchmarks, Dijkstra and Connected Components, collapse —
+CC actually degrades above 8 cores despite the run-time's load balancing.
+"""
+
+from repro.harness import distmem_experiment, sharedmem_experiment
+from repro.harness.ascii_chart import render_loglog
+from repro.harness.report import format_curves
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+
+def test_fig09_distmem_speedups(benchmark):
+    sizes = bench_sizes()
+    result = benchmark.pedantic(
+        distmem_experiment,
+        kwargs=dict(sizes=sizes, scale=bench_scale(), seeds=bench_seeds()),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_curves(
+        result["curves"], result["sizes"],
+        title="Regular 2D mesh speedups (distributed memory)",
+    )
+    text += "\n\n" + render_loglog(
+        result["curves"], title="Figure 9 (log-log)",
+    )
+    emit("fig09_distmem", text)
+
+    # Compare against the shared-memory curves for the collapse claims.
+    shared = sharedmem_experiment(
+        sizes=sizes, scale=bench_scale(), seeds=bench_seeds(),
+        benchmarks=("dijkstra", "connected_components", "quicksort", "spmxv"),
+    )["curves"]
+    dist = result["curves"]
+    top = max(sizes)
+
+    # Contended benchmarks collapse relative to shared memory.
+    for name in ("dijkstra", "connected_components"):
+        assert dist[name][top] < shared[name][top], name
+
+    # Data-light benchmarks barely change.
+    for name in ("quicksort", "spmxv"):
+        ratio = dist[name][top] / shared[name][top]
+        assert ratio > 0.5, f"{name} should not collapse on distributed memory"

@@ -1,0 +1,48 @@
+"""Figure 10 (table): average virtual-time speedup variation with T.
+
+Regenerates the accuracy half of the T trade-off study: percent change of
+each benchmark's speedup at T in {50, 500, 1000} against the T=100
+baseline, averaged over the large mesh sizes (the paper considers 64-1024
+cores, "the part of interest of the scalability profiles").
+
+Paper shape: regular benchmarks (Quicksort, SpMxV) practically do not vary;
+only the timing-dependent searches (Dijkstra, Connected Components) move
+more than a few percent, degrading as T grows.
+"""
+
+from repro.harness import drift_sweep_experiment
+from repro.harness.report import format_drift_tables
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+T_VALUES = (50.0, 500.0, 1000.0)
+
+
+def _large_sizes():
+    sizes = [n for n in bench_sizes() if n >= 64]
+    return tuple(sizes) or (64,)
+
+
+def test_fig10_speedup_variation_with_t(benchmark):
+    result = benchmark.pedantic(
+        drift_sweep_experiment,
+        kwargs=dict(
+            t_values=T_VALUES,
+            baseline_t=100.0,
+            sizes=_large_sizes(),
+            scale=bench_scale(),
+            seeds=bench_seeds(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig10_drift_accuracy", format_drift_tables(result))
+
+    variation = result["speedup_variation_pct"]
+    # Regular benchmarks are practically insensitive to T.
+    for name in ("spmxv", "quicksort", "octree", "barnes_hut"):
+        for t, pct in variation[name].items():
+            assert abs(pct) < 40.0, f"{name} at T={t}: {pct:+.1f}%"
+    # The timing-dependent searches exist in the table too.
+    assert "dijkstra" in variation
+    assert "connected_components" in variation

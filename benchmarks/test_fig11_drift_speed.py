@@ -1,0 +1,63 @@
+"""Figure 11 (table): average simulation-time variation with T.
+
+Regenerates the speed half of the T trade-off: percent change of host
+simulation time at T in {50, 500, 1000} against the T=100 baseline.
+
+Paper shape: lowering T to 50 increases simulation time for most
+benchmarks (+26.7 % on average); raising it to 1000 speeds simulation up by
+an average factor of 2.38 (3.67 at 1024 cores) — i.e. simulation-time
+variation is monotonically decreasing in T.
+"""
+
+from repro.harness import drift_sweep_experiment
+from repro.harness.report import format_drift_tables
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+T_VALUES = (50.0, 500.0, 1000.0)
+
+
+def _large_sizes():
+    sizes = [n for n in bench_sizes() if n >= 64]
+    return tuple(sizes) or (64,)
+
+
+def test_fig11_simtime_variation_with_t(benchmark):
+    result = benchmark.pedantic(
+        drift_sweep_experiment,
+        kwargs=dict(
+            t_values=T_VALUES,
+            baseline_t=100.0,
+            sizes=_large_sizes(),
+            scale=bench_scale(),
+            seeds=bench_seeds(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    from repro.harness.report import format_table
+
+    text = format_drift_tables(result)
+    stall_rows = [
+        [name] + [result["drift_stalls"][name][t]
+                  for t in (50.0, 100.0, 500.0, 1000.0)]
+        for name in sorted(result["drift_stalls"])
+    ]
+    text += "\n\n" + format_table(
+        ["benchmark", "T=50", "T=100", "T=500", "T=1000"],
+        stall_rows,
+        title="Drift stalls per run (synchronization work; deterministic)",
+    )
+    emit("fig11_drift_speed", text)
+
+    # Synchronization work (drift stalls) falls monotonically with T — the
+    # deterministic form of the paper's speedup claim.  Host wall-clock
+    # follows on average but is noisy at millisecond run times.
+    for name, series in result["drift_stalls"].items():
+        assert series[1000.0] <= series[50.0], \
+            f"{name}: more stalls at T=1000 than at T=50"
+    walls = result["walls"]
+    faster = sum(
+        1 for series in walls.values() if series[1000.0] <= series[50.0] * 1.25
+    )
+    assert faster >= len(walls) / 2, "raising T should not slow simulation"

@@ -1,0 +1,60 @@
+"""Figure 12: clustered 2D mesh speedups (4 clusters, distributed memory).
+
+Regenerates the clustered-architecture exploration: clusters with fast
+internal links (0.5 cycles) joined by slow inter-cluster links (4 cycles).
+
+Paper shape: data-contended benchmarks vary the most — for low core counts
+the inter-cluster latency dominates and regular meshes win; the situation
+reverses as the core count grows (average turning point ~78 cores, with
+large disparities).  At 1024 cores, virtual execution time drops 28.7 %
+for Connected Components and 25.6 % for Dijkstra, while Quicksort (-2.2 %)
+and SpMxV (-0.1 %) barely move.
+"""
+
+import math
+
+from repro.harness import clustered_experiment
+from repro.harness.report import format_curves, format_table
+
+from conftest import bench_scale, bench_seeds, bench_sizes, emit
+
+
+def test_fig12_clustered_speedups(benchmark):
+    sizes = bench_sizes()
+    result = benchmark.pedantic(
+        clustered_experiment,
+        kwargs=dict(
+            sizes=sizes,
+            n_clusters=4,
+            scale=bench_scale(),
+            seeds=bench_seeds(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = format_curves(
+        result["clustered"], result["sizes"],
+        title="Clustered 2D mesh speedups, 4 clusters (distributed memory)",
+    )
+    text += "\n\n" + format_curves(
+        result["regular"], result["sizes"],
+        title="Regular 2D mesh speedups (reference)",
+    )
+    rows = [
+        [name,
+         result["exec_time_change_pct"][name],
+         result["crossover_cores"][name]]
+        for name in sorted(result["exec_time_change_pct"])
+    ]
+    text += "\n\n" + format_table(
+        ["benchmark", "exec-time change % (top size)", "crossover cores"],
+        rows,
+        title="Clustered vs regular (negative change = clustering wins)",
+    )
+    emit("fig12_clustered", text)
+
+    # Data-light benchmarks are insensitive to the network reorganization.
+    for name in ("quicksort", "spmxv"):
+        assert abs(result["exec_time_change_pct"][name]) < 50.0, name
+    # Every benchmark produced a crossover diagnosis (possibly inf/0).
+    assert set(result["crossover_cores"]) == set(result["regular"])

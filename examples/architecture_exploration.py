@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Architecture exploration: the use case the paper's introduction motivates.
+
+Compares how one workload behaves across the architecture classes of
+Section V — uniform 2D meshes with shared or distributed memory, clustered
+meshes (fast intra-cluster links, slow inter-cluster links), and
+polymorphic meshes (half the cores 2x slower, half 1.5x faster, equal
+cumulated computing power) — all from a single declarative config each.
+
+Run:  python examples/architecture_exploration.py [benchmark] [n_cores]
+"""
+
+import sys
+
+from repro import build_machine, get_workload
+from repro.arch import (
+    clustered_dist,
+    dist_mesh,
+    polymorphic_dist,
+    polymorphic_shared,
+    shared_mesh,
+)
+from repro.harness.report import format_table
+
+
+def run_on(name: str, cfg, seed: int = 0):
+    workload = get_workload(name, scale="small", seed=seed, memory=cfg.memory)
+    machine = build_machine(cfg)
+    result = machine.run(workload.root)
+    workload.verify(result["output"])
+    return result["work_vtime"], machine.stats
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "connected_components"
+    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    architectures = [
+        ("shared mesh", shared_mesh(n_cores)),
+        ("distributed mesh", dist_mesh(n_cores)),
+        ("clustered x4 (dist)", clustered_dist(n_cores, 4)),
+        ("polymorphic (shared)", polymorphic_shared(n_cores)),
+        ("polymorphic (dist)", polymorphic_dist(n_cores)),
+    ]
+
+    # Single-core baselines per memory type (speedups are measured against
+    # the same memory organization).
+    base = {}
+    for memory, factory in (("shared", shared_mesh), ("distributed", dist_mesh)):
+        vtime, _ = run_on(benchmark, factory(1))
+        base[memory] = vtime
+
+    rows = []
+    for label, cfg in architectures:
+        vtime, stats = run_on(benchmark, cfg)
+        rows.append([
+            label,
+            vtime,
+            base[cfg.memory] / vtime,
+            stats.total_messages,
+            stats.drift_stalls,
+            round(stats.wall_seconds, 3),
+        ])
+
+    print(format_table(
+        ["architecture", "virtual time", "speedup", "messages",
+         "stalls", "host s"],
+        rows,
+        title=f"{benchmark} on {n_cores} cores",
+    ))
+    print(
+        "\nReading the table: contended benchmarks (connected_components,\n"
+        "dijkstra) collapse on distributed memory and recover somewhat on\n"
+        "clustered topologies at high core counts; data-light benchmarks\n"
+        "(quicksort, spmxv, octree) barely notice the memory organization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Custom interconnects: adjacency files, XY routing, hierarchies.
+
+The paper specifies topology "in a configuration file as an adjacency
+matrix"; this example builds three non-preset interconnects —
+
+* a topology loaded from an adjacency-matrix file (round-tripped here),
+* a 2D mesh with deterministic XY routing instead of shortest-path,
+* a two-level hierarchical network (clusters of clusters),
+
+— and runs one benchmark on each, assembling the machines by hand from
+engine parts instead of presets.
+
+Run:  python examples/custom_topology.py
+"""
+
+import tempfile
+import pathlib
+
+from repro.arch.io import load_topology, save_topology
+from repro.core.engine import Machine
+from repro.core.sync import SpatialSync
+from repro.memory.sharedmem import SharedMemoryModel
+from repro.network.noc import Noc
+from repro.network.routing import XYRouting
+from repro.network.topology import hierarchical_mesh, mesh2d
+from repro.runtime.runtime import Runtime
+from repro.workloads import get_workload
+
+
+def assemble(topo, routing=None):
+    """Build a shared-memory machine on an arbitrary interconnect."""
+    machine = Machine(topo, SpatialSync())
+    if routing is not None:
+        machine.noc = Noc(topo, routing=routing)
+    machine.attach_memory(SharedMemoryModel())
+    machine.attach_runtime(Runtime())
+    return machine
+
+
+def run_on(machine, label):
+    workload = get_workload("connected_components", scale="small", seed=0)
+    result = machine.run(workload.root)
+    workload.verify(result["output"])
+    stats = machine.stats
+    print(f"{label:34s} vtime={result['work_vtime']:>9.0f}  "
+          f"msgs={stats.total_messages:>5d}  "
+          f"noc_hops={int(stats.noc.get('total_hops', 0)):>6d}")
+
+
+def main() -> None:
+    # 1. Adjacency-matrix file round trip (the paper's config format).
+    mesh = mesh2d(4, 4)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "mesh16.adj"
+        save_topology(mesh, path)
+        print(f"saved {path.name}: "
+              f"{len(path.read_text().splitlines())} lines")
+        loaded = load_topology(path)
+    run_on(assemble(loaded), "4x4 mesh from adjacency file")
+
+    # 2. The same mesh under deterministic XY routing.
+    mesh_xy = mesh2d(4, 4)
+    run_on(assemble(mesh_xy, routing=XYRouting(mesh_xy, width=4)),
+           "4x4 mesh, XY routing")
+
+    # 3. A hierarchical network: 4-core clusters, slower upper levels.
+    hier = hierarchical_mesh(16, levels=2, branching=4,
+                             base_latency=0.5, level_latency_factor=4.0)
+    run_on(assemble(hier), "hierarchical 16 (4x4-core clusters)")
+
+    print("\nSame program, same verifier, three interconnects — the "
+          "design-space exploration workflow the paper motivates.")
+
+
+if __name__ == "__main__":
+    main()

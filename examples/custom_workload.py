@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Writing your own simulated program against the SiMany API.
+
+Simulated programs are Python generators that yield actions: annotated
+compute blocks, memory accesses, conditional spawns, joins, locks, cell
+accesses and messages.  This example builds a parallel histogram
+(map-reduce shape) from scratch:
+
+* mapper tasks scan data shards (annotated per-element compute + memory);
+* partial histograms merge under a lock (the paper's Section II-B lock
+  handling, including the drift waiver for lock holders);
+* the same program runs unchanged on shared and distributed memory.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro import SimLock, TaskGroup, build_machine
+from repro.arch import dist_mesh, shared_mesh
+from repro.timing.annotator import Block
+from repro.timing.isa import InstrClass
+
+#: Timing annotation for one scanned element: load, bucket index
+#: arithmetic, store into the local histogram.
+SCAN_ELEM = Block(
+    "histogram-scan",
+    instr_counts={InstrClass.LOAD: 1, InstrClass.INT_ALU: 3,
+                  InstrClass.STORE: 1},
+    cond_branches=1,
+)
+#: Merging one bucket into the global histogram.
+MERGE_BUCKET = Block(
+    "histogram-merge",
+    instr_counts={InstrClass.LOAD: 2, InstrClass.INT_ALU: 1,
+                  InstrClass.STORE: 1},
+)
+
+N_BUCKETS = 16
+SHARD = 250
+
+
+def mapper(ctx, data, lo, hi, merged, lock):
+    """Scan data[lo:hi), then merge the local histogram under the lock."""
+    local = [0] * N_BUCKETS
+    n = hi - lo
+    yield ctx.compute(block=SCAN_ELEM, repeat=n)
+    yield ctx.mem(reads=n, obj=("shard", lo // SHARD), l1_hit_fraction=0.3)
+    for value in data[lo:hi]:
+        local[value % N_BUCKETS] += 1
+
+    yield ctx.acquire(lock)
+    yield ctx.compute(block=MERGE_BUCKET, repeat=N_BUCKETS)
+    yield ctx.mem(reads=N_BUCKETS, writes=N_BUCKETS, obj="global-histogram")
+    for bucket, count in enumerate(local):
+        merged[bucket] += count
+    yield ctx.release(lock)
+
+
+def histogram_root(data):
+    def root(ctx):
+        merged = [0] * N_BUCKETS
+        lock = SimLock("histogram")
+        group = TaskGroup("mappers")
+        for lo in range(0, len(data), SHARD):
+            hi = min(lo + SHARD, len(data))
+            yield from ctx.spawn_or_inline(
+                mapper, data, lo, hi, merged, lock, group=group
+            )
+        yield ctx.join(group)
+        done = yield ctx.now()
+        return {"output": merged, "work_vtime": done}
+
+    return root
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = [int(x) for x in rng.integers(0, 1_000, size=4_000)]
+    expected = [0] * N_BUCKETS
+    for value in data:
+        expected[value % N_BUCKETS] += 1
+
+    for label, cfg in [
+        ("1-core shared", shared_mesh(1)),
+        ("16-core shared", shared_mesh(16)),
+        ("16-core distributed", dist_mesh(16)),
+    ]:
+        machine = build_machine(cfg)
+        result = machine.run(histogram_root(data))
+        assert result["output"] == expected, "histogram mismatch!"
+        stats = machine.stats
+        print(
+            f"{label:22s} vtime={result['work_vtime']:>10.0f}  "
+            f"tasks={stats.tasks_started:>3d}  "
+            f"lock-waiver runs={stats.lock_waiver_runs:>3d}  "
+            f"wall={stats.wall_seconds:.3f}s"
+        )
+    print("\nhistogram verified on all three machines")
+
+
+if __name__ == "__main__":
+    main()

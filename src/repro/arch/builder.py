@@ -1,0 +1,113 @@
+"""Build runnable machines from architecture configurations."""
+
+from __future__ import annotations
+
+from .config import ArchConfig
+from ..core.engine import EngineParams, Machine
+from ..core.sync import make_policy
+from ..memory.coherence import CoherenceModel
+from ..memory.distmem import DistributedMemoryModel
+from ..memory.numa import NumaMemoryModel
+from ..memory.sharedmem import SharedMemoryModel
+from ..network.topology import (
+    Topology,
+    clustered_mesh,
+    crossbar,
+    ring,
+    square_mesh,
+    torus2d,
+)
+from ..runtime.dispatch import make_dispatch
+from ..runtime.runtime import Runtime
+
+
+def build_topology(cfg: ArchConfig) -> Topology:
+    """Instantiate the configured interconnect."""
+    if cfg.topology == "mesh":
+        return square_mesh(
+            cfg.n_cores, latency=cfg.link_latency, bandwidth=cfg.link_bandwidth
+        )
+    if cfg.topology == "clustered":
+        return clustered_mesh(
+            cfg.n_cores,
+            cfg.n_clusters,
+            intra_latency=cfg.intra_cluster_latency,
+            inter_latency=cfg.inter_cluster_latency,
+            bandwidth=cfg.link_bandwidth,
+        )
+    if cfg.topology == "ring":
+        return ring(cfg.n_cores, latency=cfg.link_latency,
+                    bandwidth=cfg.link_bandwidth)
+    if cfg.topology == "torus":
+        import math
+
+        side = int(math.isqrt(cfg.n_cores))
+        while side > 1 and cfg.n_cores % side:
+            side -= 1
+        return torus2d(cfg.n_cores // side, side, latency=cfg.link_latency,
+                       bandwidth=cfg.link_bandwidth)
+    if cfg.topology == "crossbar":
+        return crossbar(cfg.n_cores, latency=cfg.link_latency,
+                        bandwidth=cfg.link_bandwidth)
+    raise ValueError(f"unknown topology {cfg.topology!r}")
+
+
+def build_memory(cfg: ArchConfig):
+    """Instantiate the configured memory model."""
+    if cfg.memory == "shared":
+        coherence = CoherenceModel() if cfg.coherence_enabled else None
+        return SharedMemoryModel(
+            bank_latency=cfg.bank_latency,
+            l1_latency=cfg.l1_latency,
+            coherence=coherence,
+            scale_l1_with_core=cfg.scale_l1_with_core,
+        )
+    if cfg.memory == "numa":
+        return NumaMemoryModel(
+            bank_latency=cfg.bank_latency,
+            l1_latency=cfg.l1_latency,
+            coherence=CoherenceModel() if cfg.coherence_enabled else None,
+            scale_l1_with_core=cfg.scale_l1_with_core,
+        )
+    return DistributedMemoryModel(
+        l2_latency=cfg.l2_latency,
+        l1_latency=cfg.l1_latency,
+        scale_l1_with_core=cfg.scale_l1_with_core,
+    )
+
+
+def build_machine(cfg: ArchConfig) -> Machine:
+    """Assemble a ready-to-run machine from a configuration."""
+    topo = build_topology(cfg)
+    policy = make_policy(cfg.sync, **cfg.sync_kwargs)
+    params = EngineParams(
+        task_start_cycles=cfg.task_start_cycles,
+        context_switch_cycles=cfg.context_switch_cycles,
+        queue_capacity=cfg.queue_capacity,
+        slice_actions=cfg.slice_actions,
+        parallelism_sample_interval=cfg.parallelism_sample_interval,
+    )
+    machine = Machine(
+        topo,
+        policy,
+        params,
+        drift_bound=cfg.drift_bound,
+        shadow_enabled=cfg.shadow_enabled,
+        shadow_mode=cfg.shadow_mode,
+        speed_factors=cfg.resolved_speed_factors(),
+        branch_accuracy=cfg.branch_accuracy,
+        branch_penalty=cfg.branch_penalty,
+        sample_branches=cfg.sample_branches,
+        router_penalty=cfg.router_penalty,
+        chunk_bytes=cfg.chunk_bytes,
+        model_contention=cfg.model_contention,
+        seed=cfg.seed,
+    )
+    machine.attach_memory(build_memory(cfg))
+    machine.attach_runtime(
+        Runtime(
+            dispatch=make_dispatch(cfg.dispatch, **cfg.dispatch_kwargs),
+            work_stealing=cfg.work_stealing,
+        )
+    )
+    return machine

@@ -1,0 +1,119 @@
+"""Architecture configuration (paper, Section V).
+
+An :class:`ArchConfig` captures everything the paper varies: core count and
+per-core computing power (polymorphic architectures), memory organization
+(shared with uniform latency, or fully distributed without hardware
+coherence), network topology (regular/clustered 2D meshes or arbitrary
+adjacency matrices), per-link latency and bandwidth, and the virtual-timing
+parameters (the drift bound ``T``, run-time overheads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence
+
+from ..core.errors import SimConfigError
+
+#: Paper reference values.
+DEFAULT_T = 100.0
+SHARED_BANK_LATENCY = 10.0
+L1_LATENCY = 1.0
+L2_LATENCY = 10.0
+BASE_LINK_LATENCY = 1.0
+BASE_LINK_BANDWIDTH = 128.0
+CLUSTER_INTER_LATENCY = 4.0
+CLUSTER_INTRA_LATENCY = 0.5
+#: Polymorphic architectures: one core out of two twice slower, the other
+#: faster by 3/2 — identical cumulated computing power.
+POLY_SLOW_FACTOR = 2.0
+POLY_FAST_FACTOR = 2.0 / 3.0
+
+
+@dataclass
+class ArchConfig:
+    """Declarative architecture + simulator configuration."""
+
+    name: str = "arch"
+    n_cores: int = 8
+    topology: str = "mesh"           # mesh | clustered | ring | torus | crossbar
+    n_clusters: int = 4              # for the clustered topology
+    memory: str = "shared"           # shared | distributed | numa
+    coherence_enabled: bool = False  # charge coherence timings (validation)
+    polymorphic: bool = False
+    speed_factors: Optional[Sequence[float]] = None
+
+    # Interconnect.
+    link_latency: float = BASE_LINK_LATENCY
+    link_bandwidth: float = BASE_LINK_BANDWIDTH
+    inter_cluster_latency: float = CLUSTER_INTER_LATENCY
+    intra_cluster_latency: float = CLUSTER_INTRA_LATENCY
+    router_penalty: float = 1.0
+    chunk_bytes: int = 64
+    model_contention: bool = True
+
+    # Memory latencies.
+    bank_latency: float = SHARED_BANK_LATENCY
+    l1_latency: float = L1_LATENCY
+    l2_latency: float = L2_LATENCY
+    scale_l1_with_core: bool = True
+
+    # Virtual timing.
+    sync: str = "spatial"            # spatial | conservative | quantum | ...
+    drift_bound: float = DEFAULT_T
+    shadow_enabled: bool = True
+    shadow_mode: str = "fast"
+    sync_kwargs: Dict = field(default_factory=dict)
+
+    # Run-time task dispatch: occupancy (paper default) | speed_aware |
+    # latency_aware | random (see repro.runtime.dispatch).
+    dispatch: str = "occupancy"
+    dispatch_kwargs: Dict = field(default_factory=dict)
+    #: Extension: idle cores pull NEW tasks from loaded neighbours
+    #: (Cilk-style stealing; the paper's run-time only pushes).
+    work_stealing: bool = False
+
+    # Engine / run-time overheads (paper values).
+    task_start_cycles: float = 10.0
+    context_switch_cycles: float = 15.0
+    queue_capacity: int = 4
+    slice_actions: int = 64
+    parallelism_sample_interval: int = None  # None = no sampling
+
+    # Timing annotations.
+    branch_accuracy: float = 0.9
+    branch_penalty: float = 5.0
+    sample_branches: bool = True
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimConfigError("need at least one core")
+        if self.memory not in ("shared", "distributed", "numa"):
+            raise SimConfigError(f"unknown memory organization {self.memory!r}")
+        if self.topology not in ("mesh", "clustered", "ring", "torus", "crossbar"):
+            raise SimConfigError(f"unknown topology {self.topology!r}")
+        if self.polymorphic and self.speed_factors is not None:
+            raise SimConfigError("set either polymorphic or speed_factors")
+
+    def resolved_speed_factors(self) -> list:
+        """Per-core speed factors (cost multipliers; >1 = slower)."""
+        if self.speed_factors is not None:
+            if len(self.speed_factors) != self.n_cores:
+                raise SimConfigError("speed_factors length mismatch")
+            return [float(f) for f in self.speed_factors]
+        if self.polymorphic:
+            return [
+                POLY_SLOW_FACTOR if c % 2 == 0 else POLY_FAST_FACTOR
+                for c in range(self.n_cores)
+            ]
+        return [1.0] * self.n_cores
+
+    def with_cores(self, n_cores: int) -> "ArchConfig":
+        """Copy of this config at a different scale."""
+        return replace(self, n_cores=n_cores)
+
+    def with_drift(self, T: float) -> "ArchConfig":
+        """Copy with a different maximum local drift T."""
+        return replace(self, drift_bound=T)

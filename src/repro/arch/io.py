@@ -1,0 +1,98 @@
+"""Configuration file I/O.
+
+The paper specifies network topology "in a configuration file as an
+adjacency matrix that gives the connections between the cores".  This
+module round-trips both the full :class:`ArchConfig` (JSON) and raw
+topologies (whitespace-separated adjacency matrices whose nonzero entries
+are per-link latencies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from .config import ArchConfig
+from ..core.errors import SimConfigError
+from ..network.topology import Topology, from_adjacency
+
+PathLike = Union[str, pathlib.Path]
+
+
+# -- ArchConfig JSON ---------------------------------------------------------
+
+def config_to_json(cfg: ArchConfig) -> str:
+    """Serialize a configuration to a JSON string."""
+    payload = dataclasses.asdict(cfg)
+    if payload.get("speed_factors") is not None:
+        payload["speed_factors"] = list(payload["speed_factors"])
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def config_from_json(text: str) -> ArchConfig:
+    """Parse a configuration from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimConfigError(f"invalid config JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SimConfigError("config JSON must be an object")
+    known = {f.name for f in dataclasses.fields(ArchConfig)}
+    unknown = set(payload) - known
+    if unknown:
+        raise SimConfigError(f"unknown config keys: {sorted(unknown)}")
+    return ArchConfig(**payload)
+
+
+def save_config(cfg: ArchConfig, path: PathLike) -> None:
+    """Write a configuration to a JSON file."""
+    pathlib.Path(path).write_text(config_to_json(cfg) + "\n")
+
+
+def load_config(path: PathLike) -> ArchConfig:
+    """Read a configuration from a JSON file."""
+    return config_from_json(pathlib.Path(path).read_text())
+
+
+# -- adjacency-matrix topology files ------------------------------------------
+
+def save_topology(topo: Topology, path: PathLike) -> None:
+    """Write a topology as an adjacency matrix (per-link latencies).
+
+    The file holds one row per core; entry (i, j) is 0 when cores i and j
+    are not connected, otherwise the link latency in cycles.
+    """
+    mat = np.zeros((topo.n_cores, topo.n_cores))
+    for u, v, spec in topo.directed_edges():
+        if spec.latency == 0:
+            raise SimConfigError(
+                "zero-latency links cannot be stored in the adjacency "
+                "format (0 means no link)"
+            )
+        mat[u, v] = spec.latency
+    lines = [f"# topology {topo.name}: {topo.n_cores} cores"]
+    for row in mat:
+        lines.append(" ".join(f"{x:g}" for x in row))
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+def load_topology(path: PathLike, bandwidth: float = 128.0,
+                  name: str = "") -> Topology:
+    """Read a topology from an adjacency matrix file."""
+    rows = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append([float(x) for x in line.split()])
+    if not rows:
+        raise SimConfigError(f"no adjacency rows in {path}")
+    widths = {len(r) for r in rows}
+    if widths != {len(rows)}:
+        raise SimConfigError("adjacency matrix must be square")
+    return from_adjacency(rows, bandwidth=bandwidth,
+                          name=name or pathlib.Path(path).stem)

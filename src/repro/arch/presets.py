@@ -1,0 +1,145 @@
+"""Architecture presets matching the paper's evaluation (Section V).
+
+* ``shared_mesh`` — optimistic shared memory, uniform 2D mesh (Fig. 8);
+* ``shared_mesh_validation`` — shared memory with coherence timings
+  enabled, used when comparing against the cycle-level referee (Figs. 5-6);
+* ``dist_mesh`` — distributed memory without hardware coherence (Fig. 9);
+* ``clustered_dist`` — 4 or 8 clusters, inter-cluster links 4 cycles,
+  intra-cluster links half a cycle (Fig. 12);
+* ``polymorphic_*`` — one core out of two twice slower, the other 1.5x
+  faster; same cumulated computing power (Figs. 6 and 13);
+* ``single_core`` — the sequential baseline all speedups are measured
+  against.
+
+The paper's uniform meshes are 8, 64, 256 and 1024 cores.
+"""
+
+from __future__ import annotations
+
+from .config import ArchConfig
+
+#: Core counts used in the paper's scalability figures.
+PAPER_MESH_SIZES = (1, 8, 64, 256, 1024)
+#: Core counts in the cycle-level validation figures.
+VALIDATION_SIZES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def single_core(memory: str = "shared", seed: int = 0) -> ArchConfig:
+    """The 1-core baseline for speedup computations."""
+    return ArchConfig(
+        name="single-core", n_cores=1, topology="mesh", memory=memory, seed=seed
+    )
+
+
+def shared_mesh(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """Optimistic shared-memory uniform 2D mesh."""
+    return ArchConfig(
+        name=f"shared-mesh-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="shared",
+        coherence_enabled=False,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def shared_mesh_validation(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """Shared memory with coherence timings enabled (validation mode)."""
+    return ArchConfig(
+        name=f"shared-mesh-coh-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="shared",
+        coherence_enabled=True,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def dist_mesh(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """Distributed-memory mesh: L2 10 cycles, links 1 cycle / 128 B/cycle."""
+    return ArchConfig(
+        name=f"dist-mesh-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="distributed",
+        seed=seed,
+        **kwargs,
+    )
+
+
+def numa_mesh(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """NUMA mesh: distributed banks with hardware coherence.
+
+    The middle point of the paper's memory-organization spectrum: data is
+    home-pinned in per-core banks, accesses travel over the NoC, and a
+    hardware directory keeps caches coherent.
+    """
+    return ArchConfig(
+        name=f"numa-mesh-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="numa",
+        coherence_enabled=True,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def clustered_dist(
+    n_cores: int, n_clusters: int = 4, seed: int = 0, **kwargs
+) -> ArchConfig:
+    """Clustered distributed-memory architecture (Fig. 12)."""
+    return ArchConfig(
+        name=f"clustered-{n_cores}c{n_clusters}",
+        n_cores=n_cores,
+        topology="clustered",
+        n_clusters=n_clusters,
+        memory="distributed",
+        seed=seed,
+        **kwargs,
+    )
+
+
+def polymorphic_shared(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """Polymorphic shared-memory mesh (validation counterpart of Fig. 6)."""
+    return ArchConfig(
+        name=f"poly-shared-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="shared",
+        polymorphic=n_cores > 1,
+        coherence_enabled=False,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def polymorphic_shared_validation(
+    n_cores: int, seed: int = 0, **kwargs
+) -> ArchConfig:
+    """Polymorphic shared-memory mesh with coherence timings (Fig. 6)."""
+    return ArchConfig(
+        name=f"poly-shared-coh-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="shared",
+        polymorphic=n_cores > 1,
+        coherence_enabled=True,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def polymorphic_dist(n_cores: int, seed: int = 0, **kwargs) -> ArchConfig:
+    """Polymorphic distributed-memory mesh (Fig. 13)."""
+    return ArchConfig(
+        name=f"poly-dist-{n_cores}",
+        n_cores=n_cores,
+        topology="mesh",
+        memory="distributed",
+        polymorphic=n_cores > 1,
+        seed=seed,
+        **kwargs,
+    )

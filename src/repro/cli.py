@@ -1,0 +1,272 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro run dijkstra --cores 64 --memory shared --scale small
+    python -m repro sweep fig8 --sizes 1,8,64 --scale tiny
+    python -m repro policies quicksort --cores 64
+    python -m repro info
+
+``run`` simulates one benchmark on one architecture and prints the
+headline numbers; ``sweep`` regenerates a figure/table of the paper's
+evaluation; ``policies`` compares all sync policies on one benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .arch import (
+    build_machine,
+    clustered_dist,
+    dist_mesh,
+    numa_mesh,
+    polymorphic_dist,
+    polymorphic_shared,
+    shared_mesh,
+)
+from .workloads import BENCHMARKS, SCALE_PARAMS, get_workload
+
+#: Figure/table sweeps available to the ``sweep`` subcommand.
+SWEEPS = ("fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+          "fig12", "fig13")
+
+
+def _sizes(text: str) -> tuple:
+    return tuple(int(x) for x in text.split(",") if x.strip())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SiMany: a very fast simulator for exploring the "
+                    "many-core future (IPDPS 2011 reproduction)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmarks and scales")
+    sub.add_parser("info", help="show the architecture presets and knobs")
+
+    run = sub.add_parser("run", help="simulate one benchmark")
+    run.add_argument("benchmark", choices=BENCHMARKS)
+    run.add_argument("--cores", type=int, default=64)
+    run.add_argument("--memory",
+                     choices=("shared", "distributed", "numa"),
+                     default="shared")
+    run.add_argument("--arch", choices=("mesh", "clustered", "polymorphic"),
+                     default="mesh")
+    run.add_argument("--clusters", type=int, default=4)
+    run.add_argument("--scale", choices=tuple(SCALE_PARAMS), default="small")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--drift", type=float, default=100.0,
+                     help="maximum local drift T (cycles)")
+    run.add_argument("--sync", default="spatial",
+                     choices=("spatial", "conservative", "quantum",
+                              "bounded_slack", "laxp2p", "unbounded"))
+    run.add_argument("--dispatch", default="occupancy",
+                     choices=("occupancy", "speed_aware", "latency_aware",
+                              "random"))
+    run.add_argument("--baseline", action="store_true",
+                     help="also run 1 core and report the speedup")
+
+    sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
+    sweep.add_argument("figure", choices=SWEEPS)
+    sweep.add_argument("--sizes", type=_sizes, default=(1, 8, 64))
+    sweep.add_argument("--scale", choices=tuple(SCALE_PARAMS),
+                       default="small")
+    sweep.add_argument("--seeds", type=_sizes, default=(0,))
+
+    pol = sub.add_parser("policies",
+                         help="compare sync policies on one benchmark")
+    pol.add_argument("benchmark", choices=BENCHMARKS)
+    pol.add_argument("--cores", type=int, default=64)
+    pol.add_argument("--scale", choices=tuple(SCALE_PARAMS), default="small")
+    pol.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list(out) -> int:
+    print("benchmarks:", file=out)
+    for name in BENCHMARKS:
+        params = SCALE_PARAMS["small"][name]
+        print(f"  {name:22s} small-scale params: {params}", file=out)
+    print("scales:", ", ".join(SCALE_PARAMS), file=out)
+    return 0
+
+
+def _cmd_info(out) -> int:
+    from .arch import ArchConfig
+
+    cfg = ArchConfig()
+    print("architecture presets: shared_mesh, dist_mesh, clustered_dist,",
+          file=out)
+    print("  polymorphic_shared, polymorphic_dist, shared_mesh_validation",
+          file=out)
+    print("paper reference parameters:", file=out)
+    print(f"  drift bound T        : {cfg.drift_bound}", file=out)
+    print(f"  shared bank latency  : {cfg.bank_latency} cycles", file=out)
+    print(f"  L2 latency           : {cfg.l2_latency} cycles", file=out)
+    print(f"  link latency/bw      : {cfg.link_latency} cy / "
+          f"{cfg.link_bandwidth} B/cy", file=out)
+    print(f"  task start / switch  : {cfg.task_start_cycles} / "
+          f"{cfg.context_switch_cycles} cycles", file=out)
+    print(f"  branch predictor     : {cfg.branch_accuracy:.0%}, "
+          f"{cfg.branch_penalty}-cycle mispredict", file=out)
+    return 0
+
+
+def _make_config(args):
+    if args.arch == "clustered":
+        cfg = clustered_dist(args.cores, args.clusters)
+        if args.memory == "shared":
+            raise SystemExit("clustered preset uses distributed memory")
+    elif args.arch == "polymorphic":
+        if args.memory == "numa":
+            raise SystemExit("polymorphic preset supports shared/distributed")
+        cfg = (polymorphic_shared(args.cores) if args.memory == "shared"
+               else polymorphic_dist(args.cores))
+    else:
+        if args.memory == "shared":
+            cfg = shared_mesh(args.cores)
+        elif args.memory == "numa":
+            cfg = numa_mesh(args.cores)
+        else:
+            cfg = dist_mesh(args.cores)
+    return dataclasses.replace(
+        cfg, drift_bound=args.drift, sync=args.sync, dispatch=args.dispatch,
+        seed=args.seed,
+    )
+
+
+def _cmd_run(args, out) -> int:
+    cfg = _make_config(args)
+    workload = get_workload(args.benchmark, scale=args.scale, seed=args.seed,
+                            memory=cfg.memory)
+    machine = build_machine(cfg)
+    result = machine.run(workload.root)
+    workload.verify(result["output"])
+    stats = machine.stats
+    print(f"benchmark        : {args.benchmark} {workload.meta}", file=out)
+    print(f"architecture     : {cfg.name} sync={cfg.sync} T={cfg.drift_bound}",
+          file=out)
+    print(f"virtual time     : {result['work_vtime']:.1f} cycles", file=out)
+    print(f"tasks started    : {stats.tasks_started}", file=out)
+    print(f"messages         : {stats.total_messages}", file=out)
+    print(f"drift stalls     : {stats.drift_stalls}", file=out)
+    print(f"host wall        : {stats.wall_seconds:.3f} s", file=out)
+    if args.baseline:
+        base_cfg = dataclasses.replace(cfg, n_cores=1, polymorphic=False,
+                                       topology="mesh",
+                                       name="single-core")
+        base_workload = get_workload(args.benchmark, scale=args.scale,
+                                     seed=args.seed, memory=cfg.memory)
+        base = build_machine(base_cfg).run(base_workload.root)
+        speedup = base["work_vtime"] / result["work_vtime"]
+        print(f"speedup vs 1 core: {speedup:.2f}x", file=out)
+    print("output verified  : yes", file=out)
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    from .harness import (
+        clustered_experiment,
+        distmem_experiment,
+        drift_sweep_experiment,
+        polymorphic_experiment,
+        sharedmem_experiment,
+        simtime_experiment,
+        validation_experiment,
+    )
+    from .harness.report import (
+        format_curves,
+        format_drift_tables,
+        format_power_law,
+        format_validation,
+    )
+
+    kwargs = dict(scale=args.scale, seeds=args.seeds)
+    if args.figure in ("fig5", "fig6"):
+        result = validation_experiment(
+            sizes=args.sizes, polymorphic=(args.figure == "fig6"), **kwargs)
+        print(format_validation(result), file=out)
+    elif args.figure == "fig7":
+        result = simtime_experiment(sizes=args.sizes, **kwargs)
+        print(format_curves(result["normalized"], result["sizes"],
+                            title="Normalized simulation time",
+                            value_label="sim wall / native wall"), file=out)
+        if result["power_law"]:
+            print(format_power_law(result["power_law"]), file=out)
+    elif args.figure == "fig8":
+        result = sharedmem_experiment(sizes=args.sizes, **kwargs)
+        print(format_curves(result["curves"], result["sizes"],
+                            title="Shared-memory speedups"), file=out)
+    elif args.figure == "fig9":
+        result = distmem_experiment(sizes=args.sizes, **kwargs)
+        print(format_curves(result["curves"], result["sizes"],
+                            title="Distributed-memory speedups"), file=out)
+    elif args.figure in ("fig10", "fig11"):
+        large = tuple(n for n in args.sizes if n > 1) or (64,)
+        result = drift_sweep_experiment(sizes=large, **kwargs)
+        print(format_drift_tables(result), file=out)
+    elif args.figure == "fig12":
+        result = clustered_experiment(sizes=args.sizes, **kwargs)
+        print(format_curves(result["clustered"], result["sizes"],
+                            title="Clustered speedups (4 clusters)"),
+              file=out)
+    elif args.figure == "fig13":
+        result = polymorphic_experiment(sizes=args.sizes, **kwargs)
+        print(format_curves(result["polymorphic"], result["sizes"],
+                            title="Polymorphic speedups"), file=out)
+    return 0
+
+
+def _cmd_policies(args, out) -> int:
+    from .harness import sync_policy_ablation
+    from .harness.report import format_table
+
+    result = sync_policy_ablation(
+        n_cores=args.cores, scale=args.scale, seeds=(args.seed,),
+        benchmarks=(args.benchmark,),
+    )
+    rows = []
+    for policy, vtime in result["vtimes"][args.benchmark].items():
+        rows.append([
+            policy, vtime,
+            result["deviation_pct"][args.benchmark][policy],
+            result["walls"][args.benchmark][policy],
+        ])
+    print(format_table(
+        ["policy", "virtual time", "vs conservative %", "host s"], rows,
+        title=f"{args.benchmark} on {args.cores} cores",
+    ), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "info":
+            return _cmd_info(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
+        if args.command == "policies":
+            return _cmd_policies(args, out)
+    except BrokenPipeError:  # downstream pager/head closed; not an error
+        return 0
+    raise SystemExit(2)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

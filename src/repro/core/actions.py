@@ -1,0 +1,148 @@
+"""Actions yielded by simulated tasks.
+
+Simulated program code is written as Python generators.  Wherever the
+paper's system would execute annotated native code or call the run-time
+API, our tasks ``yield`` one of these action records; the engine interprets
+it, advances virtual time, and resumes the generator with the action's
+result (``gen.send(result)``).
+
+This is the reproduction's stand-in for native execution: the *timing*
+behaviour is identical (block costs come from the same annotations), only
+the host-level execution vehicle differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from ..timing.annotator import Block
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class of everything a task may yield."""
+
+
+@dataclass(frozen=True)
+class Compute(Action):
+    """Execute an instruction block on the local core.
+
+    Either a pre-annotated ``Block`` or a raw ``cycles`` count (the paper
+    allows attributing approximate timings to coarse program parts at once).
+    """
+
+    cycles: float = 0.0
+    block: Optional[Block] = None
+    repeat: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.repeat < 0:
+            raise ValueError("compute cost must be non-negative")
+
+
+@dataclass(frozen=True)
+class MemAccess(Action):
+    """Aggregate shared-memory access (reads + writes) to one object.
+
+    ``obj`` identifies the logical object for coherence bookkeeping; ``bank``
+    optionally pins the access to a memory bank (defaults to the object's
+    home bank).  ``l1_hit_fraction`` is the annotated temporal-locality of
+    the access run; the paper's pessimistic L1 model means data never
+    survive function boundaries, so workloads annotate hits only within a
+    block.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    obj: Optional[object] = None
+    bank: Optional[int] = None
+    l1_hit_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.reads < 0 or self.writes < 0:
+            raise ValueError("access counts must be non-negative")
+        if not 0.0 <= self.l1_hit_fraction <= 1.0:
+            raise ValueError("l1_hit_fraction must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class CellAccess(Action):
+    """Distributed-memory access to a cell through a link (Section IV).
+
+    The run-time system retrieves remote cell content with DATA_REQUEST /
+    DATA_RESPONSE messages and locks the cell for the access duration.
+    ``mode`` is ``"r"``, ``"w"`` or ``"rw"``.
+    """
+
+    cell: object = None
+    mode: str = "r"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("r", "w", "rw"):
+            raise ValueError("cell access mode must be r, w or rw")
+
+
+@dataclass(frozen=True)
+class TrySpawn(Action):
+    """Conditional task spawn (probe + spawn).
+
+    Resolves to ``True`` when the task was dispatched to another core, or
+    ``False`` when the probe was denied and the caller must execute the
+    task's code sequentially (``yield from fn(ctx, *args)``).
+    """
+
+    fn: Callable = None
+    args: Tuple = field(default_factory=tuple)
+    group: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class Join(Action):
+    """Wait for all other active tasks of a group to finish."""
+
+    group: object = None
+
+
+@dataclass(frozen=True)
+class Acquire(Action):
+    """Acquire a simulation-visible lock (blocking)."""
+
+    lock: object = None
+
+
+@dataclass(frozen=True)
+class Release(Action):
+    """Release a simulation-visible lock."""
+
+    lock: object = None
+
+
+@dataclass(frozen=True)
+class SendMsg(Action):
+    """Send an application-level message to another core."""
+
+    dst: int = 0
+    payload: Any = None
+    size: float = 32.0
+    tag: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class RecvMsg(Action):
+    """Block until an application-level message (matching ``tag``) arrives.
+
+    Resolves to the received ``Message``.
+    """
+
+    tag: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class LocalTime(Action):
+    """Resolves to the core's current virtual time (instrumentation)."""
+
+
+@dataclass(frozen=True)
+class YieldCpu(Action):
+    """Voluntary reschedule point (no virtual-time cost)."""

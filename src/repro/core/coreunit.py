@@ -1,0 +1,98 @@
+"""The simulated core: task queue, inbox, suspended-task bookkeeping.
+
+In the paper's implementation, the code running on a given core is simulated
+in a dedicated userland thread with non-preemptive scheduling; here each
+core multiplexes a current task (a generator) with a queue of ready tasks
+and an inbox of architectural messages, all driven cooperatively by the
+engine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from .messages import Message
+from .task import Task
+from ..timing.annotator import BlockAnnotator
+
+
+class CoreUnit:
+    """Run-time state of one simulated core."""
+
+    __slots__ = (
+        "cid", "speed_factor", "annotator",
+        "queue", "inbox", "current", "reserved_slots",
+        "locks_held", "user_mailbox", "recv_waiters",
+        "last_processed_arrival", "busy_cycles", "service_clock",
+        "in_ready", "stalled", "lax_ref", "lax_next_check",
+    )
+
+    def __init__(
+        self,
+        cid: int,
+        annotator: BlockAnnotator,
+        speed_factor: float = 1.0,
+    ) -> None:
+        if speed_factor <= 0:
+            raise ValueError("speed factor must be positive")
+        self.cid = cid
+        self.speed_factor = speed_factor
+        self.annotator = annotator
+        self.queue: Deque[Task] = deque()
+        self.inbox: Deque[Message] = deque()
+        self.current: Optional[Task] = None
+        self.reserved_slots = 0
+        self.locks_held = 0
+        self.user_mailbox: Deque[Message] = deque()
+        self.recv_waiters: List[Tuple[Task, object]] = []
+        self.last_processed_arrival = 0.0
+        self.busy_cycles = 0.0
+        #: Virtual timeline of the core's run-time/NI message servicing.
+        #: Requests are serviced at max(arrival, service_clock): the
+        #: run-time handles incoming messages independently of the task
+        #: clock, and replies are dated with the request time plus a local
+        #: processing time (paper, Section II-A).
+        self.service_clock = 0.0
+        self.in_ready = False
+        self.stalled = False
+        # LaxP2P bookkeeping (used only under that policy).
+        self.lax_ref: Optional[int] = None
+        self.lax_next_check = 0.0
+
+    def has_work(self) -> bool:
+        """True when the core has something to execute right now."""
+        return self.current is not None or bool(self.queue) or bool(self.inbox)
+
+    def occupancy(self) -> int:
+        """Task-queue occupancy as advertised to neighbours (incl. holds)."""
+        return len(self.queue) + self.reserved_slots + (1 if self.current else 0)
+
+    def next_event_time(self) -> float:
+        """Earliest pending inbox message arrival (INF when none)."""
+        if not self.inbox:
+            return float("inf")
+        return min(m.arrival for m in self.inbox)
+
+    def next_start_time(self) -> float:
+        """Earliest start/resume time among queued tasks (INF when none).
+
+        Only meaningful when the core is free: scheduling is
+        non-preemptive, so a busy core cannot promise queued work.
+        """
+        earliest = float("inf")
+        for task in self.queue:
+            t = task.resume_time if task.gen is not None else task.ready_time
+            if t < earliest:
+                earliest = t
+        return earliest
+
+    def scaled(self, cycles: float) -> float:
+        """Apply this core's speed factor to a raw cycle count."""
+        return cycles * self.speed_factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Core{self.cid}(q={len(self.queue)}, inbox={len(self.inbox)}, "
+            f"current={self.current is not None})"
+        )

@@ -1,0 +1,835 @@
+"""The SiMany simulation engine.
+
+A :class:`Machine` assembles a topology, a NoC, the virtual-time fabric, a
+synchronization policy, a memory model and a task run-time system, then
+drives simulated cores cooperatively: the engine repeatedly selects a
+runnable core and lets it process inbox messages and execute task actions
+for a bounded slice, exactly like the paper's single-process, userland-
+scheduled implementation (Section III).  Sequential code between actions
+runs natively (it is ordinary Python inside the task generators); only
+interactions are simulated.
+
+Scheduling: cores that have work live in a ready ring (round-robin).  A core
+whose drift check fails moves to the stalled set and is woken by the
+fine-grained hooks (a neighbour's published time increased, a spawn birth
+was discarded) or by the policy's global recheck.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .actions import (
+    Acquire,
+    CellAccess,
+    Compute,
+    Join,
+    LocalTime,
+    MemAccess,
+    RecvMsg,
+    Release,
+    SendMsg,
+    TrySpawn,
+    YieldCpu,
+)
+from .coreunit import CoreUnit
+from .errors import SimConfigError, SimDeadlock, SimError, TaskError
+from .fabric import VirtualTimeFabric
+from .messages import DEFAULT_SIZES, Message, MsgKind
+from .stats import SimStats, WallTimer
+from .sync import SyncPolicy
+from .task import Task, TaskContext, TaskState
+from ..network.noc import Noc
+from ..network.topology import Topology
+from ..timing.annotator import BlockAnnotator
+from ..timing.branch import BranchPredictorModel
+from ..timing.isa import CostTable, default_cost_table
+
+
+@dataclass
+class EngineParams:
+    """Run-time system and engine cost parameters (paper, Section V)."""
+
+    #: Overhead of starting a task on a core, on top of receiving the spawn
+    #: message (paper: 10 cycles).
+    task_start_cycles: float = 10.0
+    #: Context switch to a joining/resuming task (paper: 15 cycles).
+    context_switch_cycles: float = 15.0
+    #: Cost of handling one incoming message chunk on a core.
+    msg_process_cycles: float = 2.0
+    #: Cost of emitting one message (marshalling, NI injection).
+    send_overhead_cycles: float = 2.0
+    #: Cost of the local resource check of a ``probe`` that fails fast.
+    probe_check_cycles: float = 3.0
+    #: Cost of decrementing a task group's active counter.
+    group_decrement_cycles: float = 5.0
+    #: Task-queue capacity used by probe admission control.
+    queue_capacity: int = 4
+    #: Maximum actions executed per scheduling slice of one core.
+    slice_actions: int = 64
+    #: Multiplier on compute-block costs (cycle-level pipeline overheads).
+    compute_overhead_factor: float = 1.0
+    #: Fixed instruction-fetch cost charged per compute block (cycle-level
+    #: split-I-cache modelling; 0 disables).
+    icache_block_cycles: float = 0.0
+    #: Safety valve: abort after this many host-side actions (None = off).
+    max_host_actions: Optional[int] = None
+    #: Sample the number of concurrently runnable cores every N scheduling
+    #: decisions (None = off).  Used by the parallel-host feasibility study
+    #: (paper, Section VIII): cores that are runnable at the same host
+    #: moment could be simulated by parallel host threads.
+    parallelism_sample_interval: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise SimConfigError("queue capacity must be >= 1")
+        if self.slice_actions < 1:
+            raise SimConfigError("slice must allow at least one action")
+
+
+class Machine:
+    """A simulated many-core machine."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        policy: SyncPolicy,
+        params: Optional[EngineParams] = None,
+        *,
+        drift_bound: float = 100.0,
+        shadow_enabled: bool = True,
+        shadow_mode: str = "fast",
+        cost_table: Optional[CostTable] = None,
+        speed_factors: Optional[Sequence[float]] = None,
+        branch_accuracy: float = 0.9,
+        branch_penalty: float = 5.0,
+        sample_branches: bool = True,
+        router_penalty: float = 1.0,
+        chunk_bytes: int = 64,
+        model_contention: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self.topo = topo
+        self.n_cores = topo.n_cores
+        self.params = params or EngineParams()
+        self.policy = policy
+        self.seed = seed
+        self.stats = SimStats(n_cores=self.n_cores)
+
+        self.noc = Noc(
+            topo,
+            router_penalty=router_penalty,
+            chunk_bytes=chunk_bytes,
+            model_contention=model_contention,
+        )
+        self.fabric = VirtualTimeFabric(
+            topo,
+            drift_bound=drift_bound,
+            shadow_enabled=shadow_enabled,
+            shadow_mode=shadow_mode,
+            on_publish_increase=self._on_publish_increase,
+        )
+
+        table = cost_table or default_cost_table()
+        if speed_factors is None:
+            speed_factors = [1.0] * self.n_cores
+        if len(speed_factors) != self.n_cores:
+            raise SimConfigError("speed_factors length must match core count")
+        self.cores: List[CoreUnit] = []
+        for cid in range(self.n_cores):
+            factor = float(speed_factors[cid])
+            annotator = BlockAnnotator(
+                table.scaled(factor),
+                predictor=BranchPredictorModel(
+                    accuracy=branch_accuracy,
+                    penalty_cycles=branch_penalty,
+                    seed=seed * 1_000_003 + cid,
+                ),
+                sample_branches=sample_branches,
+            )
+            self.cores.append(CoreUnit(cid, annotator, speed_factor=factor))
+
+        self.memory = None  # attached by the builder
+        self.runtime = None  # attached by the builder
+        self._handlers: Dict[MsgKind, Callable[[CoreUnit, Message], None]] = {
+            MsgKind.USER: self._handle_user_msg,
+        }
+        self._action_handlers = {
+            Compute: self._do_compute,
+            MemAccess: self._do_mem,
+            CellAccess: self._do_cell,
+            TrySpawn: self._do_try_spawn,
+            Join: self._do_join,
+            Acquire: self._do_acquire,
+            Release: self._do_release,
+            SendMsg: self._do_send,
+            RecvMsg: self._do_recv,
+            LocalTime: self._do_localtime,
+            YieldCpu: self._do_yield,
+        }
+
+        self._ready: deque = deque()
+        self._stalled: set = set()
+        self._svc_time = 0.0
+        self._neighbor_cache = [topo.neighbors(c) for c in range(self.n_cores)]
+        self.live_tasks = 0
+        self.last_finish_time = 0.0
+        self._progress = False
+        self._ran = False
+        self._stop_at_vtime: Optional[float] = None
+        self.root_task: Optional[Task] = None
+
+    # -- wiring ---------------------------------------------------------
+    def attach_memory(self, memory) -> None:
+        """Bind the memory model (shared / NUMA / distributed cells)."""
+        self.memory = memory
+        memory.attach(self)
+
+    def attach_runtime(self, runtime) -> None:
+        """Bind the task run-time system (spawning, joins, locks)."""
+        self.runtime = runtime
+        runtime.attach(self)
+
+    def register_handler(
+        self, kind: MsgKind, handler: Callable[[CoreUnit, Message], None]
+    ) -> None:
+        """Register the processing function for an architectural message kind."""
+        self._handlers[kind] = handler
+
+    # -- public API ------------------------------------------------------
+    def run(self, root_fn: Callable, *args, root_core: int = 0,
+            stop_at_vtime: Optional[float] = None) -> Any:
+        """Simulate ``root_fn(ctx, *args)`` as the root task; return its result.
+
+        ``stop_at_vtime`` stops the simulation once any core's virtual time
+        reaches the given value (partial simulation for sampling long
+        workloads); the root task's result is then ``None`` and
+        ``machine.live_tasks`` reports the unfinished work.
+        """
+        if self._ran:
+            raise SimError("a Machine instance is single-use; build a new one")
+        if self.memory is None or self.runtime is None:
+            raise SimConfigError("attach memory and runtime before run()")
+        self._ran = True
+        self.policy.attach(self)
+        root = Task(root_fn, args, group=None, birth_time=0.0, is_root=True)
+        self.root_task = root
+        self.live_tasks = 1
+        core = self.cores[root_core]
+        core.queue.append(root)
+        self._make_ready(core)
+        self._stop_at_vtime = stop_at_vtime
+        with WallTimer(self.stats):
+            self._main_loop()
+        self.stats.completion_vtime = (
+            root.finish_time if root.finish_time is not None else self.fabric.max_vtime
+        )
+        self.stats.noc = self.noc.stats.as_dict()
+        self.stats.shadow_recomputes = self.fabric.shadow_recomputes
+        for c in self.cores:
+            self.stats.core_busy_cycles[c.cid] = c.busy_cycles
+        return root.result
+
+    @property
+    def completion_time(self) -> float:
+        """Virtual time at which the root task finished."""
+        return self.stats.completion_vtime
+
+    # -- scheduling ------------------------------------------------------
+    def _make_ready(self, core: CoreUnit) -> None:
+        if core.stalled:
+            core.stalled = False
+            self._stalled.discard(core.cid)
+        if not core.in_ready:
+            core.in_ready = True
+            self._ready.append(core)
+
+    def _mark_stalled(self, core: CoreUnit) -> None:
+        if not core.stalled:
+            core.stalled = True
+            self._stalled.add(core.cid)
+            self.stats.drift_stalls += 1
+
+    def _on_publish_increase(self, cid: int) -> None:
+        """Fabric hook: a core's published time rose; wake stalled neighbours."""
+        cores = self.cores
+        for j in self._neighbor_cache[cid]:
+            core = cores[j]
+            if core.stalled:
+                self._make_ready(core)
+
+    def _push_all_stalled(self) -> bool:
+        woke = False
+        for cid in list(self._stalled):
+            self._make_ready(self.cores[cid])
+            woke = True
+        return woke
+
+    def _main_loop(self) -> None:
+        stale_rescues = 0
+        stop_at = self._stop_at_vtime
+        while self.live_tasks > 0:
+            if stop_at is not None and self.fabric.max_vtime >= stop_at:
+                return  # partial simulation requested
+            progressed = self._drain_ready()
+            if stop_at is not None and self.fabric.max_vtime >= stop_at:
+                return
+            if self.live_tasks == 0:
+                break
+            if progressed:
+                stale_rescues = 0
+            else:
+                stale_rescues += 1
+                if stale_rescues > 2:
+                    self._raise_deadlock()
+            self.policy.on_no_runnable()
+            self.fabric.refresh_shadows()
+            if not self._push_all_stalled() and not self._ready:
+                self._raise_deadlock()
+
+    def _sample_parallelism(self) -> None:
+        """Record how many cores are concurrently runnable right now."""
+        policy = self.policy
+        waivers = self.stats.lock_waiver_runs  # keep the probe stats-neutral
+        count = 0
+        for core in self.cores:
+            if core.has_work() and policy.may_run(core):
+                count += 1
+        self.stats.lock_waiver_runs = waivers
+        self.stats.parallelism_samples.append(count)
+
+    def _drain_ready(self) -> bool:
+        progressed = False
+        ready = self._ready
+        policy = self.policy
+        interval = self.params.parallelism_sample_interval
+        pops = 0
+        while ready:
+            core = ready.popleft()
+            core.in_ready = False
+            if interval is not None:
+                pops += 1
+                if pops % interval == 0:
+                    self._sample_parallelism()
+            if (self._stop_at_vtime is not None
+                    and self.fabric.max_vtime >= self._stop_at_vtime):
+                # Keep the interrupted core schedulable for inspection.
+                if core.has_work():
+                    self._make_ready(core)
+                return progressed
+            if not core.has_work():
+                self._go_idle(core)
+                continue
+            # _run_slice performs the drift check itself (it must also apply
+            # the reception exemption for inbox work on stalled cores).
+            if self._run_slice(core):
+                progressed = True
+        return progressed
+
+    def _go_idle(self, core: CoreUnit) -> None:
+        if self.fabric.active[core.cid]:
+            self.fabric.set_idle(core.cid)
+        self.policy.on_idle(core)
+        hook = getattr(self.runtime, "on_core_idle", None)
+        if hook is not None:
+            hook(core)
+
+    def _earliest_unit(self, core: CoreUnit):
+        """The core's earliest executable unit: ('msg', idx, t),
+        ('step', -1, t) or ('start', idx, t); None when no work.
+
+        Queued tasks are candidates only while the core is free
+        (non-preemptive scheduling).
+        """
+        best = None
+        best_t = float("inf")
+        for i, msg in enumerate(core.inbox):
+            if msg.arrival < best_t:
+                best = ("msg", i)
+                best_t = msg.arrival
+        if core.current is not None:
+            vt = self.fabric.vtime[core.cid]
+            if vt < best_t:
+                best = ("step", -1)
+                best_t = vt
+        else:
+            for i, task in enumerate(core.queue):
+                t = task.resume_time if task.gen is not None else task.ready_time
+                if t < best_t:
+                    best = ("start", i)
+                    best_t = t
+        if best is None:
+            return None
+        return best[0], best[1], best_t
+
+    def _run_ordered_slice(self, core: CoreUnit) -> bool:
+        """Slice execution for strictly ordered policies (the referee):
+        pick the earliest unit each iteration and gate it by its own
+        timestamp."""
+        policy = self.policy
+        budget = self.params.slice_actions
+        progressed = False
+        while budget > 0:
+            unit = self._earliest_unit(core)
+            if unit is None:
+                break
+            kind, idx, t = unit
+            if not policy.may_run_unit(core, t):
+                self._mark_stalled(core)
+                return progressed
+            if kind == "msg":
+                msg = core.inbox[idx]
+                del core.inbox[idx]
+                self._process_message(core, msg)
+            elif kind == "step":
+                self._step_task(core)
+            else:
+                task = core.queue[idx]
+                del core.queue[idx]
+                self.runtime.on_task_dequeued(core)
+                self._start_or_resume(core, task)
+            budget -= 1
+            progressed = True
+        if core.has_work():
+            self._make_ready(core)
+        else:
+            self._go_idle(core)
+        return progressed
+
+    def _run_slice(self, core: CoreUnit) -> bool:
+        """Run one core until it blocks, stalls, idles or exhausts its slice."""
+        params = self.params
+        policy = self.policy
+        if getattr(policy, "ordered_units", False):
+            return self._run_ordered_slice(core)
+        budget = params.slice_actions
+        progressed = False
+        reception_exempt = getattr(policy, "reception_exempt", False)
+        while budget > 0:
+            if not policy.may_run(core):
+                # Message reception is simulator infrastructure: a spawned
+                # task must reach its destination (discarding the parent's
+                # birth date) even while the destination is drift-stalled,
+                # or two cores can deadlock through the birth-ledger floor.
+                if reception_exempt and core.inbox:
+                    msg = self._pop_inbox(core)
+                    self._process_message(core, msg)
+                    budget -= 1
+                    progressed = True
+                    continue
+                self._mark_stalled(core)
+                return progressed
+            if core.inbox:
+                # The run-time polls its lock-free message buffers at block
+                # boundaries (between actions), not only between tasks:
+                # probe replies and queue-state updates must not wait for
+                # the current task to finish, or spawn round trips inflate
+                # with the drift bound.
+                msg = self._pop_inbox(core)
+                self._process_message(core, msg)
+                budget -= 1
+                progressed = True
+                continue
+            if core.current is not None:
+                self._step_task(core)
+                budget -= 1
+                progressed = True
+                continue
+            if core.queue:
+                task = core.queue.popleft()
+                self.runtime.on_task_dequeued(core)
+                self._start_or_resume(core, task)
+                budget -= 1
+                progressed = True
+                continue
+            break  # no work left
+        if core.has_work():
+            if policy.may_run(core) or (reception_exempt and core.inbox):
+                self._make_ready(core)
+            else:
+                self._mark_stalled(core)
+        else:
+            # _go_idle always refreshes the policy's view (a core may have
+            # serviced messages without ever activating, and its tracker
+            # entry would otherwise anchor the horizon forever) and gives
+            # the run-time its idle hook (work stealing).
+            self._go_idle(core)
+        return progressed
+
+    def _pop_inbox(self, core: CoreUnit) -> Message:
+        """Next inbox message: host order normally, earliest-arrival order
+        under strictly ordered policies (the conservative referee)."""
+        if getattr(self.policy, "ordered_inbox", False) and len(core.inbox) > 1:
+            best = min(range(len(core.inbox)),
+                       key=lambda i: core.inbox[i].arrival)
+            msg = core.inbox[best]
+            del core.inbox[best]
+            return msg
+        return core.inbox.popleft()
+
+    # -- time helpers ------------------------------------------------------
+    def advance_by(self, core: CoreUnit, cycles: float) -> None:
+        """Advance a core's virtual time by busy cycles."""
+        if cycles < 0:
+            raise SimError("cannot advance by negative cycles")
+        if cycles == 0:
+            return
+        self.fabric.advance(core.cid, self.fabric.vtime[core.cid] + cycles)
+        core.busy_cycles += cycles
+        self.policy.on_advance(core)
+
+    def advance_to(self, core: CoreUnit, t: float) -> None:
+        """Advance a core's virtual time to ``t`` if in its future (waiting)."""
+        if t > self.fabric.vtime[core.cid]:
+            self.fabric.advance(core.cid, t)
+            self.policy.on_advance(core)
+
+    def now(self, core: CoreUnit) -> float:
+        """The core's current virtual time."""
+        return self.fabric.vtime[core.cid]
+
+    # -- messaging -----------------------------------------------------------
+    def send_message(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        payload: Any = None,
+        size: Optional[float] = None,
+        tag: Optional[object] = None,
+    ) -> Message:
+        """Emit an architectural message; timestamps come from the NoC."""
+        t0 = self.fabric.vtime[src]
+        if size is None:
+            size = DEFAULT_SIZES[kind]
+        msg = Message(kind, src, dst, t0, size, payload=payload, tag=tag)
+        msg.arrival = self.noc.delivery_time(src, dst, size, t0)
+        self.stats.messages_by_kind[kind] += 1
+        dest = self.cores[dst]
+        dest.inbox.append(msg)
+        hook = getattr(self.policy, "on_event_enqueued", None)
+        if hook is not None:
+            hook(dest)
+        self._make_ready(dest)
+        return msg
+
+    def send_with_overhead(
+        self,
+        kind: MsgKind,
+        core: CoreUnit,
+        dst: int,
+        payload: Any = None,
+        size: Optional[float] = None,
+        tag: Optional[object] = None,
+    ) -> Message:
+        """Charge the sender's overhead, then emit."""
+        self.advance_by(core, core.scaled(self.params.send_overhead_cycles))
+        return self.send_message(kind, core.cid, dst, payload, size, tag)
+
+    def _process_message(self, core: CoreUnit, msg: Message) -> None:
+        """Service one architectural message on a core's run-time/NI.
+
+        Servicing does not touch the core's task clock: the run-time
+        handles requests independently, and a reply is dated with the
+        request's time plus a local processing time (paper, Section II-A).
+        A per-core service clock serializes back-to-back handling.
+        """
+        if msg.arrival < core.last_processed_arrival - 1e-9:
+            self.stats.out_of_order_msgs += 1
+        core.last_processed_arrival = msg.arrival
+        service = max(msg.arrival, core.service_clock)
+        service += core.scaled(self.params.msg_process_cycles)
+        core.service_clock = service
+        self._svc_time = service
+        handler = self._handlers.get(msg.kind)
+        if handler is None:
+            raise SimError(f"no handler registered for {msg.kind}")
+        handler(core, msg)
+        # Servicing consumed this message: refresh the policy's view of the
+        # core's event horizon (its next pending event moved forward).
+        self.policy.on_advance(core)
+
+    def service_now(self, core: CoreUnit) -> float:
+        """Virtual completion time of the message currently being serviced."""
+        return self._svc_time
+
+    def send_message_at(
+        self,
+        kind: MsgKind,
+        core: CoreUnit,
+        dst: int,
+        t0: float,
+        payload: Any = None,
+        size: Optional[float] = None,
+        tag: Optional[object] = None,
+    ) -> Message:
+        """Emit a message from a core's run-time at an explicit send time."""
+        t0 += core.scaled(self.params.send_overhead_cycles)
+        if size is None:
+            size = DEFAULT_SIZES[kind]
+        msg = Message(kind, core.cid, dst, t0, size, payload=payload, tag=tag)
+        msg.arrival = self.noc.delivery_time(core.cid, dst, size, t0)
+        self.stats.messages_by_kind[kind] += 1
+        dest = self.cores[dst]
+        dest.inbox.append(msg)
+        hook = getattr(self.policy, "on_event_enqueued", None)
+        if hook is not None:
+            hook(dest)
+        self._make_ready(dest)
+        return msg
+
+    def send_service_message(
+        self,
+        kind: MsgKind,
+        core: CoreUnit,
+        dst: int,
+        payload: Any = None,
+        size: Optional[float] = None,
+        tag: Optional[object] = None,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Emit a message from a core's run-time while servicing a request.
+
+        The send time is the request's service-completion time plus the
+        send overhead (and any handler-specific delay), not the core's
+        task clock — a reply is dated with the request time plus a local
+        processing time (paper, Section II-A).
+        """
+        return self.send_message_at(
+            kind, core, dst, self._svc_time + extra_delay,
+            payload=payload, size=size, tag=tag,
+        )
+
+    def _handle_user_msg(self, core: CoreUnit, msg: Message) -> None:
+        """Deliver a USER message to a recv waiter or park it in the mailbox."""
+        for i, (task, tag) in enumerate(core.recv_waiters):
+            if tag is None or tag == msg.tag:
+                del core.recv_waiters[i]
+                self.wake_task(task, msg, self.service_now(core),
+                               ctx_switch=True)
+                return
+        core.user_mailbox.append(msg)
+
+    # -- task lifecycle ----------------------------------------------------
+    def register_task(self, task: Task) -> None:
+        """Account for a newly spawned (remote) task."""
+        self.live_tasks += 1
+        self.stats.tasks_spawned_remote += 1
+
+    def wake_task(
+        self, task: Task, value: Any, at_time: float, ctx_switch: bool = True
+    ) -> None:
+        """Move a suspended task to its core's queue, resumable at ``at_time``."""
+        if task.state not in (TaskState.SUSPENDED,):
+            raise SimError(f"cannot wake task in state {task.state}")
+        task.state = TaskState.READY
+        task.resume_value = value
+        task.resume_time = at_time
+        task.resume_is_ctx_switch = ctx_switch
+        task.waiting_on = None
+        core = self.cores[task.core]
+        core.queue.append(task)
+        hook = getattr(self.policy, "on_event_enqueued", None)
+        if hook is not None:
+            hook(core)
+        self._make_ready(core)
+
+    def suspend_current(self, core: CoreUnit, reason: str) -> Task:
+        """Park the core's current task (blocked on ``reason``)."""
+        task = core.current
+        if task is None:
+            raise SimError("no current task to suspend")
+        task.state = TaskState.SUSPENDED
+        task.waiting_on = reason
+        core.current = None
+        # The core's horizon no longer includes the task's clock.
+        self.policy.on_advance(core)
+        return task
+
+    def _start_or_resume(self, core: CoreUnit, task: Task) -> None:
+        params = self.params
+        if task.state == TaskState.NEW:
+            if not self.fabric.active[core.cid]:
+                self.fabric.set_active(core.cid, task.ready_time)
+                self.policy.on_activation(core)
+            self.advance_to(core, task.ready_time)
+            self.advance_by(core, core.scaled(params.task_start_cycles))
+            task.state = TaskState.RUNNING
+            task.core = core.cid
+            task.start_time = self.now(core)
+            ctx = TaskContext(self, core.cid, task)
+            task.gen = task.fn(ctx, *task.args)
+            task.resume_value = None
+            core.current = task
+            self.stats.tasks_started += 1
+            self.stats.context_switches += 1
+        elif task.state == TaskState.READY:
+            if not self.fabric.active[core.cid]:
+                self.fabric.set_active(core.cid, task.resume_time)
+                self.policy.on_activation(core)
+            self.advance_to(core, task.resume_time)
+            if task.resume_is_ctx_switch:
+                self.advance_by(core, core.scaled(params.context_switch_cycles))
+            task.state = TaskState.RUNNING
+            core.current = task
+            self.stats.context_switches += 1
+        else:
+            raise SimError(f"cannot start task in state {task.state}")
+        # A start/resume changes the core's horizon even when no cycles
+        # were charged (e.g. a past-dated resume): refresh the policy.
+        self.policy.on_advance(core)
+
+    def _step_task(self, core: CoreUnit) -> None:
+        task = core.current
+        value = task.resume_value
+        task.resume_value = None
+        try:
+            action = task.gen.send(value)
+        except StopIteration as stop:
+            task.result = stop.value
+            self._finish_task(core, task)
+            return
+        except SimError:
+            raise
+        except Exception as exc:
+            raise TaskError(
+                f"simulated task {task!r} raised {type(exc).__name__} "
+                f"on core {core.cid} at vtime "
+                f"{self.fabric.vtime[core.cid]:.1f}: {exc}",
+                task=task, core=core.cid,
+                vtime=self.fabric.vtime[core.cid],
+            ) from exc
+        self.stats.actions += 1
+        if self.params.max_host_actions is not None:
+            if self.stats.actions > self.params.max_host_actions:
+                raise SimError("max_host_actions exceeded (runaway simulation?)")
+        handler = self._action_handlers.get(type(action))
+        if handler is None:
+            raise SimError(f"task yielded unknown action {action!r}")
+        handler(core, task, action)
+
+    def _finish_task(self, core: CoreUnit, task: Task) -> None:
+        task.state = TaskState.DONE
+        task.finish_time = self.now(core)
+        core.current = None
+        self.live_tasks -= 1
+        if task.finish_time > self.last_finish_time:
+            self.last_finish_time = task.finish_time
+        self.runtime.on_task_finished(core, task)
+
+    # -- action handlers -----------------------------------------------------
+    def _do_compute(self, core: CoreUnit, task: Task, action: Compute) -> None:
+        params = self.params
+        cost = core.scaled(action.cycles) * action.repeat
+        if action.block is not None:
+            cost += core.annotator.cost_repeated(action.block, action.repeat)
+        cost *= params.compute_overhead_factor
+        if params.icache_block_cycles:
+            cost += core.scaled(params.icache_block_cycles)
+        self.advance_by(core, cost)
+        self.stats.compute_actions += 1
+
+    def _do_mem(self, core: CoreUnit, task: Task, action: MemAccess) -> None:
+        latency = self.memory.access(core, action)
+        self.advance_by(core, latency)
+        self.stats.mem_accesses += 1
+
+    def _do_cell(self, core: CoreUnit, task: Task, action: CellAccess) -> None:
+        self.stats.cell_accesses += 1
+        result = self.memory.cell_access(core, task, action)
+        if result is None:
+            # Remote fetch in flight; task suspended by the memory model.
+            self.stats.remote_cell_accesses += 1
+        else:
+            self.advance_by(core, result)
+            target = action.cell
+            if hasattr(target, "deref"):
+                target = target.deref()
+            task.resume_value = target
+
+    def _do_try_spawn(self, core: CoreUnit, task: Task, action: TrySpawn) -> None:
+        self.runtime.try_spawn(core, task, action)
+
+    def _do_join(self, core: CoreUnit, task: Task, action: Join) -> None:
+        self.runtime.join(core, task, action.group)
+
+    def _do_acquire(self, core: CoreUnit, task: Task, action: Acquire) -> None:
+        self.runtime.acquire(core, task, action.lock)
+
+    def _do_release(self, core: CoreUnit, task: Task, action: Release) -> None:
+        self.runtime.release(core, task, action.lock)
+
+    def _do_send(self, core: CoreUnit, task: Task, action: SendMsg) -> None:
+        self.send_with_overhead(
+            MsgKind.USER, core, action.dst, payload=action.payload,
+            size=action.size, tag=action.tag,
+        )
+        task.resume_value = None
+
+    def _do_recv(self, core: CoreUnit, task: Task, action: RecvMsg) -> None:
+        for i, msg in enumerate(core.user_mailbox):
+            if action.tag is None or msg.tag == action.tag:
+                del core.user_mailbox[i]
+                self.advance_to(core, msg.arrival)
+                task.resume_value = msg
+                return
+        suspended = self.suspend_current(core, "recv")
+        core.recv_waiters.append((suspended, action.tag))
+
+    def _do_localtime(self, core: CoreUnit, task: Task, action: LocalTime) -> None:
+        task.resume_value = self.now(core)
+
+    def _do_yield(self, core: CoreUnit, task: Task, action: YieldCpu) -> None:
+        task.resume_value = None
+
+    # -- diagnostics -----------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable summary of the machine configuration and state."""
+        lines = [
+            f"Machine: {self.n_cores} cores on {self.topo.name}",
+            f"  sync policy     : {self.policy.name}"
+            + (f" (T={self.fabric.T:g})" if self.policy.name == "spatial"
+               else ""),
+            f"  memory model    : {type(self.memory).__name__}",
+            f"  shadow time     : "
+            f"{'on (' + self.fabric.shadow_mode + ')' if self.fabric.shadow_enabled else 'off'}",
+            f"  speed factors   : "
+            f"{sorted(set(c.speed_factor for c in self.cores))}",
+        ]
+        if self._ran:
+            stats = self.stats
+            lines += [
+                f"  completion      : {stats.completion_vtime:.1f} cycles",
+                f"  tasks           : {stats.tasks_started} started, "
+                f"{stats.tasks_spawned_remote} remote, "
+                f"{stats.tasks_run_inline} inline",
+                f"  messages        : {stats.total_messages}",
+                f"  drift stalls    : {stats.drift_stalls}",
+                f"  host wall       : {stats.wall_seconds:.3f} s",
+            ]
+        return "\n".join(lines)
+
+    def _raise_deadlock(self) -> None:
+        diag = {
+            "live_tasks": self.live_tasks,
+            "stalled_cores": sorted(self._stalled),
+            "cores": {},
+        }
+        for core in self.cores:
+            if core.has_work() or core.stalled:
+                diag["cores"][core.cid] = {
+                    "active": self.fabric.active[core.cid],
+                    "vtime": self.fabric.vtime[core.cid],
+                    "floor": self.fabric.floor(core.cid),
+                    "queue": len(core.queue),
+                    "inbox": len(core.inbox),
+                    "current": repr(core.current),
+                    "stalled": core.stalled,
+                }
+        raise SimDeadlock(
+            f"simulation cannot progress: {self.live_tasks} live tasks, "
+            f"{len(self._stalled)} drift-stalled cores",
+            diagnostics=diag,
+        )

@@ -1,0 +1,44 @@
+"""Simulator error types."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for simulator errors."""
+
+
+class SimDeadlock(SimError):
+    """The simulation cannot make progress.
+
+    Spatial synchronization by itself never deadlocks (the task with lowest
+    virtual time can always progress — paper, Section II-B); reaching this
+    state indicates a program-level deadlock or an engine misuse, and the
+    exception carries diagnostics to tell them apart.
+    """
+
+    def __init__(self, message: str, diagnostics: dict | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
+class SimConfigError(SimError):
+    """Invalid architecture or engine configuration."""
+
+
+class ProtocolError(SimError):
+    """A task violated the programming-model protocol (e.g. double release)."""
+
+
+class TaskError(SimError):
+    """Simulated program code raised an exception.
+
+    Wraps the original exception with simulation context (task, core,
+    virtual time); the original is available as ``__cause__``.
+    """
+
+    def __init__(self, message: str, task=None, core: int | None = None,
+                 vtime: float | None = None) -> None:
+        super().__init__(message)
+        self.task = task
+        self.core = core
+        self.vtime = vtime

@@ -1,0 +1,297 @@
+"""Virtual-time fabric: distributed clocks, spatial drift bookkeeping.
+
+Every simulated core maintains its own private virtual time while active
+(paper, Section II-A).  The fabric tracks, per core:
+
+* its *published* time — the virtual time neighbours see through their
+  proxies.  Control "VTime update" messages have no architectural existence,
+  so proxy updates are modelled as immediate writes to this table;
+* its *shadow virtual time* when idle — ``min(neighbour times) + T`` — which
+  keeps non-connected sets of active cores synchronized (Figure 2);
+* the *birth times* of tasks it has spawned that have not yet reached their
+  destination core, counted as if the child had started on a neighbour
+  (Figure 3).
+
+The drift rule: a core stalls when its virtual time exceeds the time of its
+most-late neighbour (including spawn births) by more than the user-chosen
+constant ``T``.  This local bound implies a global bound of
+``diameter x T`` between any two cores.
+
+Shadow maintenance has two modes:
+
+* ``exact`` — the published times of idle cores always equal the fixpoint
+  ``min over active cores a of (vtime(a) + T * hops(i, a))``, recomputed
+  lazily (multi-source Dijkstra) whenever an idle/active transition could
+  have lowered a value.  Used by correctness tests and the shadow ablation.
+* ``fast`` — published times are kept monotone: increases propagate through
+  increase-only relaxation, decreases are skipped.  A core's own drift
+  check still uses its true virtual time; only its neighbours may see a
+  stale-high value, allowing them at most one extra ``T`` of drift.  This
+  is the default for large simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Dict, List, Optional
+
+from ..network.topology import Topology
+
+INF = math.inf
+
+
+class VirtualTimeFabric:
+    """Shared virtual-time state for all cores of one machine."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        drift_bound: float,
+        shadow_enabled: bool = True,
+        shadow_mode: str = "fast",
+        on_publish_increase: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if drift_bound <= 0:
+            raise ValueError("drift bound T must be positive")
+        if shadow_mode not in ("fast", "exact"):
+            raise ValueError("shadow_mode must be 'fast' or 'exact'")
+        self.topo = topo
+        self.T = drift_bound
+        self.shadow_enabled = shadow_enabled
+        self.shadow_mode = shadow_mode
+        self.on_publish_increase = on_publish_increase
+
+        n = topo.n_cores
+        self.n_cores = n
+        self._neighbors: List[tuple] = [topo.neighbors(c) for c in range(n)]
+        self.vtime: List[float] = [0.0] * n
+        self.active: List[bool] = [False] * n
+        self.published: List[float] = [INF] * n
+        # Birth ledger: per core, timestamp -> outstanding count.
+        self._births: List[Dict[float, int]] = [dict() for _ in range(n)]
+        self._births_min: List[float] = [INF] * n
+        self._dirty = True  # shadows need a full recompute
+        self.max_vtime = 0.0
+        self.shadow_recomputes = 0
+
+    # -- core state transitions ------------------------------------------
+    def set_active(self, cid: int, start_time: float) -> None:
+        """Core ``cid`` gains a virtual time of its own (idle -> active)."""
+        if self.active[cid]:
+            raise RuntimeError(f"core {cid} already active")
+        self.active[cid] = True
+        self.vtime[cid] = start_time
+        if start_time > self.max_vtime:
+            self.max_vtime = start_time
+        old = self.published[cid]
+        if self.shadow_mode == "fast":
+            # Monotone publishing: never lower what neighbours already saw.
+            if math.isinf(old) or start_time > old:
+                self.published[cid] = start_time
+                if not math.isinf(old):
+                    self._notify(cid)
+                    self._relax_up(cid)
+        else:
+            self.published[cid] = start_time
+            self._dirty = True
+
+    def set_idle(self, cid: int) -> None:
+        """Core ``cid`` loses its virtual time (active -> idle)."""
+        if not self.active[cid]:
+            raise RuntimeError(f"core {cid} already idle")
+        self.active[cid] = False
+        if not self.shadow_enabled:
+            self.published[cid] = INF
+            self._notify(cid)
+            return
+        if self.shadow_mode == "exact":
+            self._dirty = True
+        else:
+            # Fast mode: shadow starts at the last vtime (monotone) and will
+            # be raised by relaxation as neighbours advance.
+            self._relax_self(cid)
+
+    def advance(self, cid: int, new_time: float) -> None:
+        """Advance an active core's virtual time (monotone)."""
+        if not self.active[cid]:
+            raise RuntimeError(f"core {cid} is idle; cannot advance")
+        if new_time < self.vtime[cid] - 1e-9:
+            raise ValueError(
+                f"virtual time must be monotone on core {cid}: "
+                f"{new_time} < {self.vtime[cid]}"
+            )
+        if new_time <= self.vtime[cid]:
+            return
+        self.vtime[cid] = new_time
+        if new_time > self.max_vtime:
+            self.max_vtime = new_time
+        if new_time > self.published[cid]:
+            self.published[cid] = new_time
+            self._notify(cid)
+            if self.shadow_enabled:
+                self._relax_up(cid)
+            if self.shadow_mode == "exact":
+                # Active increases keep the exact fixpoint valid only if no
+                # transition is pending; relaxation handles the rest.
+                pass
+
+    # -- spawn birth ledger -------------------------------------------------
+    def add_birth(self, cid: int, timestamp: float) -> None:
+        """Record a spawned task's birth time on its parent's core."""
+        births = self._births[cid]
+        births[timestamp] = births.get(timestamp, 0) + 1
+        if timestamp < self._births_min[cid]:
+            self._births_min[cid] = timestamp
+
+    def remove_birth(self, cid: int, timestamp: float) -> None:
+        """Discard a birth date once the task reached its destination."""
+        births = self._births[cid]
+        count = births.get(timestamp)
+        if not count:
+            raise RuntimeError(f"no pending birth at t={timestamp} on core {cid}")
+        if count == 1:
+            del births[timestamp]
+        else:
+            births[timestamp] = count - 1
+        if timestamp == self._births_min[cid]:
+            self._births_min[cid] = min(births) if births else INF
+
+    def births_min(self, cid: int) -> float:
+        """Earliest outstanding spawn-birth timestamp on a core (INF if none)."""
+        return self._births_min[cid]
+
+    # -- drift checks ---------------------------------------------------------
+    def neighbor_floor(self, cid: int) -> float:
+        """Most-late neighbour time as seen through proxies (may be INF)."""
+        if self._dirty and self.shadow_enabled and self.shadow_mode == "exact":
+            self._full_recompute()
+        nbrs = self._neighbors[cid]
+        if not nbrs:
+            return INF
+        pub = self.published
+        floor = min(pub[j] for j in nbrs)
+        return floor
+
+    def floor(self, cid: int) -> float:
+        """Drift floor: most-late neighbour or pending spawn birth."""
+        floor = self.neighbor_floor(cid)
+        births = self._births_min[cid]
+        return births if births < floor else floor
+
+    def drift_ok(self, cid: int) -> bool:
+        """True when the core may keep executing under the drift rule."""
+        if not self.active[cid]:
+            return True
+        return self.vtime[cid] <= self.floor(cid) + self.T + 1e-9
+
+    def drift(self, cid: int) -> float:
+        """Current drift of a core over its floor (negative = behind)."""
+        floor = self.floor(cid)
+        if math.isinf(floor):
+            return -INF
+        return self.vtime[cid] - floor
+
+    def global_drift_bound(self) -> float:
+        """The theoretical bound diameter x T (paper, Section II-A)."""
+        return self.topo.diameter() * self.T
+
+    def refresh_shadows(self) -> None:
+        """Recompute all shadows exactly (multi-source Dijkstra).
+
+        In fast mode, shadows of an idle region freeze when every adjacent
+        active core is drift-stalled (no advance waves to relax them); the
+        engine calls this on a no-runnable rescue round to restore the exact
+        fixpoint, which guarantees the globally-earliest core can run.
+        """
+        if self.shadow_enabled:
+            self._full_recompute()
+
+    # -- shadow machinery -------------------------------------------------
+    def _notify(self, cid: int) -> None:
+        if self.on_publish_increase is not None:
+            self.on_publish_increase(cid)
+
+    def _relax_self(self, cid: int) -> None:
+        """Fast-mode shadow init for a newly idle core (monotone)."""
+        nbrs = self._neighbors[cid]
+        if not nbrs:
+            return
+        pub = self.published
+        # Shadows are clamped at max_vtime + T: a floor at that level can
+        # never stall anyone (every active vtime <= max_vtime), and the
+        # clamp keeps mutual relaxation between idle cores from climbing
+        # without bound when no active anchor is in sight.
+        ceiling = self.max_vtime + self.T
+        cand = min(min(pub[j] for j in nbrs) + self.T, ceiling)
+        if cand > pub[cid]:
+            pub[cid] = cand
+            self._notify(cid)
+            self._relax_up(cid)
+
+    def _relax_up(self, cid: int) -> None:
+        """Increase-only propagation of a published-time increase."""
+        pub = self.published
+        active = self.active
+        neighbors = self._neighbors
+        T = self.T
+        ceiling = self.max_vtime + T
+        stack = [cid]
+        while stack:
+            x = stack.pop()
+            px = pub[x]
+            for j in neighbors[x]:
+                if active[j]:
+                    continue
+                # The candidate is min over j's neighbours + T <= px + T,
+                # so if j already publishes >= px + T nothing can rise:
+                # skip the inner min entirely (hot path at 1024 cores).
+                if pub[j] >= px + T:
+                    continue
+                cand = min(min(pub[k] for k in neighbors[j]) + T, ceiling)
+                if cand > pub[j]:
+                    pub[j] = cand
+                    self._notify(j)
+                    stack.append(j)
+
+    def _full_recompute(self) -> None:
+        """Exact shadow fixpoint: multi-source Dijkstra from active cores."""
+        self.shadow_recomputes += 1
+        self._dirty = False
+        n = self.n_cores
+        pub = [INF] * n
+        heap: List[tuple] = []
+        for c in range(n):
+            if self.active[c]:
+                pub[c] = self.vtime[c]
+                heap.append((pub[c], c))
+        heapq.heapify(heap)
+        T = self.T
+        while heap:
+            d, c = heapq.heappop(heap)
+            if d > pub[c]:
+                continue
+            cand = d + T
+            for j in self._neighbors[c]:
+                if not self.active[j] and cand < pub[j]:
+                    pub[j] = cand
+                    heapq.heappush(heap, (cand, j))
+        old = self.published
+        self.published = pub
+        if self.on_publish_increase is not None:
+            for c in range(n):
+                if pub[c] != old[c]:
+                    self._notify(c)
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Debug snapshot of the fabric state."""
+        if self._dirty and self.shadow_enabled and self.shadow_mode == "exact":
+            self._full_recompute()
+        return {
+            "vtime": list(self.vtime),
+            "active": list(self.active),
+            "published": list(self.published),
+            "births_min": list(self._births_min),
+            "max_vtime": self.max_vtime,
+        }

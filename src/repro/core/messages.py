@@ -1,0 +1,83 @@
+"""Run-time system messages.
+
+The run-time system generates messages to drive task dispatching and, when
+using distributed memory, object movement (paper, Section IV).  Messages are
+architectural: they traverse the interconnect and are timed by the NoC.
+Control messages used purely to implement the simulation (virtual-time
+updates, birth-date discards) have no architectural existence and never
+appear here; they are modelled as immediate state updates.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class MsgKind(enum.Enum):
+    """Architectural message kinds of the run-time protocol (Section IV)."""
+
+    PROBE = "probe"                  # reservation request for a task slot
+    PROBE_ACK = "probe_ack"          # reservation accepted
+    PROBE_NACK = "probe_nack"        # reservation denied
+    TASK_SPAWN = "task_spawn"        # the new task itself (with arguments)
+    QUEUE_STATE = "queue_state"      # broadcast of a core's task-queue state
+    JOINER_REQUEST = "joiner_request"  # wake-up of a joining task
+    DATA_REQUEST = "data_request"    # remote cell content request
+    DATA_RESPONSE = "data_response"  # remote cell content transfer
+    LOCK_REQUEST = "lock_request"    # distributed lock acquisition
+    LOCK_GRANT = "lock_grant"        # distributed lock acquisition reply
+    LOCK_RELEASE = "lock_release"    # distributed lock release
+    STEAL_REQUEST = "steal_request"  # work-stealing extension: ask for work
+    STEAL_REPLY = "steal_reply"      # work-stealing extension: task or NACK
+    USER = "user"                    # application-level payload
+
+
+#: Default architectural sizes in bytes, used for NoC serialization timing.
+DEFAULT_SIZES = {
+    MsgKind.PROBE: 16,
+    MsgKind.PROBE_ACK: 8,
+    MsgKind.PROBE_NACK: 8,
+    MsgKind.TASK_SPAWN: 64,
+    MsgKind.QUEUE_STATE: 8,
+    MsgKind.JOINER_REQUEST: 16,
+    MsgKind.DATA_REQUEST: 16,
+    MsgKind.DATA_RESPONSE: 64,
+    MsgKind.LOCK_REQUEST: 16,
+    MsgKind.LOCK_GRANT: 8,
+    MsgKind.LOCK_RELEASE: 8,
+    MsgKind.STEAL_REQUEST: 16,
+    MsgKind.STEAL_REPLY: 64,
+    MsgKind.USER: 32,
+}
+
+_msg_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One architectural message.
+
+    ``send_time`` is the sender's virtual time at emission; ``arrival`` the
+    virtual time at which the destination may process it (assigned by the
+    NoC, including link latencies, serialization and contention).  ``seq``
+    is a host-side sequence number recording emission order.
+    """
+
+    kind: MsgKind
+    src: int
+    dst: int
+    send_time: float
+    size: float
+    payload: Any = None
+    tag: Optional[object] = None
+    arrival: float = 0.0
+    seq: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.kind.value}, {self.src}->{self.dst}, "
+            f"t={self.send_time:.1f}, arr={self.arrival:.1f})"
+        )

@@ -1,0 +1,88 @@
+"""Simulation statistics.
+
+Counters the evaluation needs: completion virtual time (for speedups),
+host wall-clock (for normalized simulation time, Fig. 7), event/message
+counts, context switches, drift stalls and out-of-order processing events.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimStats:
+    """Counters collected over one simulation run."""
+
+    n_cores: int = 0
+    completion_vtime: float = 0.0
+    wall_seconds: float = 0.0
+    actions: int = 0
+    compute_actions: int = 0
+    mem_accesses: int = 0
+    cell_accesses: int = 0
+    remote_cell_accesses: int = 0
+    context_switches: int = 0
+    tasks_started: int = 0
+    tasks_spawned_remote: int = 0
+    tasks_run_inline: int = 0
+    drift_stalls: int = 0
+    lock_waiver_runs: int = 0
+    out_of_order_msgs: int = 0
+    shadow_recomputes: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    #: Concurrently-runnable core counts sampled during the run (only when
+    #: EngineParams.parallelism_sample_interval is set).
+    parallelism_samples: list = field(default_factory=list)
+    noc: Dict[str, float] = field(default_factory=dict)
+    core_busy_cycles: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        """Architectural messages of all kinds emitted during the run."""
+        return sum(self.messages_by_kind.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for report tables."""
+        out = {
+            "n_cores": self.n_cores,
+            "completion_vtime": self.completion_vtime,
+            "wall_seconds": self.wall_seconds,
+            "actions": self.actions,
+            "compute_actions": self.compute_actions,
+            "mem_accesses": self.mem_accesses,
+            "cell_accesses": self.cell_accesses,
+            "remote_cell_accesses": self.remote_cell_accesses,
+            "context_switches": self.context_switches,
+            "tasks_started": self.tasks_started,
+            "tasks_spawned_remote": self.tasks_spawned_remote,
+            "tasks_run_inline": self.tasks_run_inline,
+            "drift_stalls": self.drift_stalls,
+            "lock_waiver_runs": self.lock_waiver_runs,
+            "out_of_order_msgs": self.out_of_order_msgs,
+            "shadow_recomputes": self.shadow_recomputes,
+            "total_messages": self.total_messages,
+        }
+        for kind, count in self.messages_by_kind.items():
+            out[f"msgs_{kind.value}"] = count
+        out.update({f"noc_{k}": v for k, v in self.noc.items()})
+        return out
+
+
+class WallTimer:
+    """Context manager measuring host wall-clock into a SimStats."""
+
+    def __init__(self, stats: SimStats) -> None:
+        self.stats = stats
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.stats.wall_seconds += time.perf_counter() - self._start

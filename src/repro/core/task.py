@@ -1,0 +1,231 @@
+"""Tasks, task groups and the task-side programming API.
+
+The programming model follows the paper's Section IV: a task-oriented model
+in the spirit of TBB/Capsule with *conditional spawning* — a ``probe``
+primitive checks neighbour occupancy before a spawn is attempted, and a
+denied probe means the program executes the task's code sequentially.
+Coarse synchronization is expressed through task grouping and ``join``.
+
+Simulated program code is a Python generator taking a :class:`TaskContext`
+as first argument and yielding :mod:`repro.core.actions` records.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from .actions import (
+    Acquire,
+    CellAccess,
+    Compute,
+    Join,
+    LocalTime,
+    MemAccess,
+    RecvMsg,
+    Release,
+    SendMsg,
+    TrySpawn,
+    YieldCpu,
+)
+from .errors import ProtocolError
+from ..timing.annotator import Block
+
+_task_counter = itertools.count()
+_group_counter = itertools.count()
+
+
+class TaskState(enum.Enum):
+    """Lifecycle states of a task."""
+
+    NEW = "new"              # created, not yet started anywhere
+    RUNNING = "running"      # generator live on a core
+    SUSPENDED = "suspended"  # blocked (join, lock, probe, remote data)
+    READY = "ready"          # woken, waiting in a core's queue to resume
+    DONE = "done"
+
+
+class Task:
+    """One task instance.
+
+    A task starts on one core and stays there (the run-time system dispatches
+    tasks at spawn time only; there is no preemptive migration).
+    """
+
+    __slots__ = (
+        "tid", "fn", "args", "group", "state", "gen", "core",
+        "birth_time", "ready_time", "start_time", "finish_time", "result",
+        "resume_value", "resume_time", "resume_is_ctx_switch",
+        "waiting_on", "is_root",
+    )
+
+    def __init__(
+        self,
+        fn: Callable[..., Iterator],
+        args: Tuple = (),
+        group: Optional["TaskGroup"] = None,
+        birth_time: float = 0.0,
+        is_root: bool = False,
+    ) -> None:
+        self.tid = next(_task_counter)
+        self.fn = fn
+        self.args = args
+        self.group = group
+        self.state = TaskState.NEW
+        self.gen: Optional[Iterator] = None
+        self.core: Optional[int] = None
+        self.birth_time = birth_time
+        #: Virtual time at which the task became available on its core
+        #: (arrival of the TASK_SPAWN message at the destination).
+        self.ready_time = birth_time
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.result: Any = None
+        self.resume_value: Any = None
+        self.resume_time: float = 0.0
+        self.resume_is_ctx_switch: bool = False
+        self.waiting_on: Optional[str] = None
+        self.is_root = is_root
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.fn, "__name__", "?")
+        return f"Task#{self.tid}({name}, {self.state.value}, core={self.core})"
+
+
+class TaskGroup:
+    """A group of tasks that can be waited on with ``join``.
+
+    Each successful spawn into the group increments the active-task counter;
+    each member task's termination decrements it.  Joiners suspend until the
+    counter reaches zero; the last terminating task sends a JOINER_REQUEST
+    notification to each joiner's core (paper, Section IV).
+    """
+
+    __slots__ = ("gid", "count", "joiners", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.gid = next(_group_counter)
+        self.count = 0
+        self.joiners: List[Task] = []
+        self.name = name or f"group{self.gid}"
+
+    def register(self) -> None:
+        """Count one spawned member into the group."""
+        self.count += 1
+
+    def deregister(self) -> int:
+        """Count one member termination; returns the remaining count."""
+        if self.count <= 0:
+            raise ProtocolError(f"{self.name}: deregister below zero")
+        self.count -= 1
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TaskGroup({self.name}, count={self.count})"
+
+
+class TaskContext:
+    """API surface handed to simulated program code.
+
+    All methods are cheap factories for action records; the code yields them
+    and the engine interprets them.  The context is bound to the core a task
+    runs on; inline-executed child tasks share their caller's context.
+    """
+
+    __slots__ = ("machine", "core_id", "task")
+
+    def __init__(self, machine, core_id: int, task: Task) -> None:
+        self.machine = machine
+        self.core_id = core_id
+        self.task = task
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def n_cores(self) -> int:
+        """Number of cores of the simulated machine."""
+        return self.machine.n_cores
+
+    def now(self) -> LocalTime:
+        """Yieldable; resolves to the core's current virtual time."""
+        return LocalTime()
+
+    # -- computation -------------------------------------------------------
+    def compute(
+        self,
+        cycles: float = 0.0,
+        block: Optional[Block] = None,
+        repeat: float = 1.0,
+    ) -> Compute:
+        """Execute an annotated instruction block (or raw cycles) locally."""
+        return Compute(cycles=cycles, block=block, repeat=repeat)
+
+    def mem(
+        self,
+        reads: int = 0,
+        writes: int = 0,
+        obj: Optional[object] = None,
+        bank: Optional[int] = None,
+        l1_hit_fraction: float = 0.0,
+    ) -> MemAccess:
+        """Aggregate shared-memory access."""
+        return MemAccess(
+            reads=reads,
+            writes=writes,
+            obj=obj,
+            bank=bank,
+            l1_hit_fraction=l1_hit_fraction,
+        )
+
+    def cell(self, cell: object, mode: str = "r") -> CellAccess:
+        """Distributed-memory cell access via a link (may fetch remotely)."""
+        return CellAccess(cell=cell, mode=mode)
+
+    # -- tasking ----------------------------------------------------------
+    def try_spawn(
+        self, fn: Callable, *args, group: Optional[TaskGroup] = None
+    ) -> TrySpawn:
+        """Probe + spawn; resolves to True when dispatched remotely."""
+        return TrySpawn(fn=fn, args=tuple(args), group=group)
+
+    def spawn_or_inline(
+        self, fn: Callable, *args, group: Optional[TaskGroup] = None
+    ) -> Iterator:
+        """Spawn if a neighbour accepts, otherwise run inline (sequentially).
+
+        Usage: ``yield from ctx.spawn_or_inline(work, a, b, group=g)``.
+        Returns True when the task went remote.
+        """
+        spawned = yield TrySpawn(fn=fn, args=tuple(args), group=group)
+        if not spawned:
+            yield from fn(self, *args)
+        return spawned
+
+    def join(self, group: TaskGroup) -> Join:
+        """Wait until every active task of the group has finished."""
+        return Join(group=group)
+
+    # -- locking -------------------------------------------------------------
+    def acquire(self, lock: object) -> Acquire:
+        """Acquire a simulation-visible lock (blocks until granted)."""
+        return Acquire(lock=lock)
+
+    def release(self, lock: object) -> Release:
+        """Release a lock held by this task."""
+        return Release(lock=lock)
+
+    # -- messaging ---------------------------------------------------------
+    def send(
+        self, dst: int, payload: Any = None, size: float = 32.0,
+        tag: Optional[object] = None,
+    ) -> SendMsg:
+        """Send an application-level message to another core."""
+        return SendMsg(dst=dst, payload=payload, size=size, tag=tag)
+
+    def recv(self, tag: Optional[object] = None) -> RecvMsg:
+        """Block until a matching application-level message arrives."""
+        return RecvMsg(tag=tag)
+
+    def yield_cpu(self) -> YieldCpu:
+        """Voluntary reschedule point (no virtual-time cost)."""
+        return YieldCpu()

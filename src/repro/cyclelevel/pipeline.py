@@ -1,0 +1,37 @@
+"""Cycle-level pipeline timing parameters.
+
+The referee models a scalar 5-stage in-order pipeline (PowerPC 405 class)
+at a finer grain than SiMany's flat instruction-class costs: structural
+stalls and fetch effects appear as a constant CPI overhead factor applied
+to every instruction block, plus a per-block instruction-fetch cost for the
+split L1 I-cache.
+
+These are referee-internal constants — SiMany never sees them, which is
+what makes the two simulators genuinely independent referees of each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: 5-stage in-order scalar pipeline parameters.
+PIPELINE_DEPTH = 5
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Constant-overhead pipeline timing refinement."""
+
+    #: CPI multiplier for hazards and structural stalls an in-order
+    #: 5-stage scalar core suffers beyond the ideal class costs.
+    overhead_factor: float = 1.15
+    #: Per-block instruction fetch cost charged to the split L1 I-cache.
+    icache_block_cycles: float = 1.0
+    #: Mispredict penalty equals a full pipeline flush.
+    mispredict_penalty: float = float(PIPELINE_DEPTH)
+
+    def __post_init__(self) -> None:
+        if self.overhead_factor < 1.0:
+            raise ValueError("pipeline overhead factor must be >= 1")
+        if self.icache_block_cycles < 0 or self.mispredict_penalty < 0:
+            raise ValueError("pipeline cycle costs must be non-negative")

@@ -1,0 +1,117 @@
+"""ASCII line charts for figure regeneration.
+
+The paper's evaluation figures are log-log speedup plots; the benchmark
+harness renders the measured series as text charts so the regenerated
+"figures" are actual figures, viewable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Plot glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _log_positions(values: Sequence[float], lo: float, hi: float,
+                   cells: int) -> List[int]:
+    """Map values onto [0, cells-1] on a log scale."""
+    if lo <= 0:
+        raise ValueError("log-scale axis needs positive bounds")
+    span = math.log(hi / lo) if hi > lo else 1.0
+    out = []
+    for value in values:
+        if value <= 0:
+            out.append(0)
+            continue
+        frac = math.log(value / lo) / span if span else 0.0
+        out.append(max(0, min(cells - 1, round(frac * (cells - 1)))))
+    return out
+
+
+def render_loglog(
+    curves: Mapping[str, Mapping[int, float]],
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    y_label: str = "speedup",
+    x_label: str = "cores",
+) -> str:
+    """Render a family of curves as a log-log ASCII chart.
+
+    ``curves`` maps series name -> {x: y}.  All finite positive points are
+    plotted; the legend maps glyphs to series names.
+    """
+    points = [
+        (x, y)
+        for series in curves.values()
+        for x, y in series.items()
+        if y > 0 and math.isfinite(y)
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo == y_hi:
+        y_hi = y_lo * 2
+    if x_lo == x_hi:
+        x_hi = x_lo * 2
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, series) in enumerate(sorted(curves.items())):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"  {glyph} {name}")
+        pts = [(x, y) for x, y in sorted(series.items())
+               if y > 0 and math.isfinite(y)]
+        if not pts:
+            continue
+        cols = _log_positions([p[0] for p in pts], x_lo, x_hi, width)
+        rows = _log_positions([p[1] for p in pts], y_lo, y_hi, height)
+        prev = None
+        for col, row in zip(cols, rows):
+            r = height - 1 - row
+            grid[r][col] = glyph
+            # Sparse vertical interpolation so curves read as lines.
+            if prev is not None:
+                pc, pr = prev
+                if abs(col - pc) >= 1:
+                    mid_col = (col + pc) // 2
+                    mid_row = height - 1 - (row + (height - 1 - pr)) // 2
+                    mid_row = max(0, min(height - 1, (r + pr) // 2))
+                    if grid[mid_row][mid_col] == " ":
+                        grid[mid_row][mid_col] = "."
+            prev = (col, r)
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _fmt_axis(y_hi)
+    bottom_label = _fmt_axis(y_lo)
+    pad = max(len(top_label), len(bottom_label), len(y_label) + 1)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = f"{_fmt_axis(x_lo)}{' ' * max(1, width - len(_fmt_axis(x_lo)) - len(_fmt_axis(x_hi)))}{_fmt_axis(x_hi)}"
+    lines.append(" " * pad + "  " + x_axis + f"  ({x_label}, log)")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def _fmt_axis(value: float) -> str:
+    if value >= 1000 or (0 < value < 0.01):
+        return f"{value:.1e}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2g}"

@@ -1,0 +1,101 @@
+"""Generic parameter sweeps for design-space exploration.
+
+The paper's purpose is fast coarse comparison of architecture designs; a
+sweep takes a base configuration, a grid of parameter overrides, and a
+benchmark, runs the cartesian product, and returns records suitable for
+tables or CSV export.
+
+    grid = {"drift_bound": [50, 100, 500], "n_cores": [16, 64]}
+    records = sweep("octree", shared_mesh(16), grid, scale="tiny")
+    print(sweep_table(records, rows="n_cores", cols="drift_bound"))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .experiments import run_benchmark
+from .report import format_table
+from ..arch.config import ArchConfig
+
+
+def sweep(
+    benchmark: str,
+    base: ArchConfig,
+    grid: Mapping[str, Sequence],
+    scale: str = "small",
+    seeds: Sequence[int] = (0,),
+    metric: str = "vtime",
+) -> List[Dict]:
+    """Run the cartesian product of ``grid`` overrides on ``base``.
+
+    Returns one record per grid point: the overrides plus the averaged
+    metric (``vtime``, ``wall``, or any numeric SimStats attribute).
+    """
+    if not grid:
+        raise ValueError("empty parameter grid")
+    valid = {f.name for f in dataclasses.fields(ArchConfig)}
+    unknown = set(grid) - valid
+    if unknown:
+        raise ValueError(f"unknown ArchConfig fields: {sorted(unknown)}")
+    names = sorted(grid)
+    records: List[Dict] = []
+    for combo in itertools.product(*(grid[name] for name in names)):
+        overrides = dict(zip(names, combo))
+        cfg = dataclasses.replace(base, **overrides)
+        values = []
+        for seed in seeds:
+            record = run_benchmark(benchmark, cfg, scale=scale, seed=seed)
+            if metric == "vtime":
+                values.append(record.vtime)
+            elif metric == "wall":
+                values.append(record.wall)
+            else:
+                values.append(float(getattr(record.stats, metric)))
+        entry = dict(overrides)
+        entry[metric] = sum(values) / len(values)
+        records.append(entry)
+    return records
+
+
+def sweep_table(
+    records: Sequence[Mapping],
+    rows: str,
+    cols: str,
+    metric: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Pivot sweep records into a rows x cols text table."""
+    if not records:
+        raise ValueError("no records to tabulate")
+    if metric is None:
+        candidates = [k for k in records[0]
+                      if k not in (rows, cols) and isinstance(
+                          records[0][k], (int, float))]
+        if not candidates:
+            raise ValueError("cannot infer the metric column")
+        metric = candidates[-1]
+    row_values = sorted({r[rows] for r in records})
+    col_values = sorted({r[cols] for r in records})
+    lookup = {(r[rows], r[cols]): r[metric] for r in records}
+    headers = [rows] + [f"{cols}={c}" for c in col_values]
+    body = []
+    for rv in row_values:
+        body.append([rv] + [lookup.get((rv, cv), float("nan"))
+                            for cv in col_values])
+    return format_table(headers, body, title=title)
+
+
+def sweep_csv(records: Sequence[Mapping]) -> str:
+    """CSV export of sweep records (stable column order)."""
+    if not records:
+        raise ValueError("no records to export")
+    columns = sorted(records[0])
+    lines = [",".join(columns)]
+    for record in records:
+        lines.append(",".join(f"{record[c]:.6g}"
+                              if isinstance(record[c], float)
+                              else str(record[c]) for c in columns))
+    return "\n".join(lines)

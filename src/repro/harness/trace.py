@@ -1,0 +1,191 @@
+"""Execution tracing.
+
+A :class:`Tracer` attaches to a machine before ``run()`` and records, in
+virtual time:
+
+* per-core task execution spans (which task ran when, on which core);
+* drift-stall events;
+* message events (kind, source, destination, send/arrival times).
+
+Traces render as text Gantt charts (one lane per core) and export as lists
+of dicts for external analysis.  Tracing hooks the engine's task lifecycle
+non-invasively (method wrapping), so it costs nothing when not attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.messages import Message
+
+
+@dataclass
+class Span:
+    """One task execution interval on a core."""
+
+    core: int
+    task: str
+    start: float
+    end: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"core": self.core, "task": self.task,
+                "start": self.start, "end": self.end}
+
+
+@dataclass
+class MsgEvent:
+    """One architectural message."""
+
+    kind: str
+    src: int
+    dst: int
+    send_time: float
+    arrival: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "src": self.src, "dst": self.dst,
+                "send_time": self.send_time, "arrival": self.arrival}
+
+
+class Tracer:
+    """Records task spans, stalls and messages from one machine run."""
+
+    def __init__(self, machine, trace_messages: bool = True) -> None:
+        self.machine = machine
+        self.spans: List[Span] = []
+        self.stalls: List[Dict[str, float]] = []
+        self.messages: List[MsgEvent] = []
+        self._open: Dict[int, tuple] = {}  # core -> (task name, start)
+        self._install(trace_messages)
+
+    # -- hook installation ---------------------------------------------------
+    def _install(self, trace_messages: bool) -> None:
+        machine = self.machine
+        fabric = machine.fabric
+
+        original_start = machine._start_or_resume
+
+        def start_or_resume(core, task):
+            original_start(core, task)
+            name = getattr(task.fn, "__name__", "task") + f"#{task.tid}"
+            self._open[core.cid] = (name, fabric.vtime[core.cid])
+
+        machine._start_or_resume = start_or_resume
+
+        original_finish = machine._finish_task
+
+        def finish_task(core, task):
+            self._close_span(core.cid, fabric.vtime[core.cid])
+            original_finish(core, task)
+
+        machine._finish_task = finish_task
+
+        original_suspend = machine.suspend_current
+
+        def suspend_current(core, reason):
+            self._close_span(core.cid, fabric.vtime[core.cid])
+            return original_suspend(core, reason)
+
+        machine.suspend_current = suspend_current
+
+        original_stall = machine._mark_stalled
+
+        def mark_stalled(core):
+            was_stalled = core.stalled
+            original_stall(core)
+            if not was_stalled and fabric.active[core.cid]:
+                self.stalls.append({
+                    "core": core.cid,
+                    "vtime": fabric.vtime[core.cid],
+                    "floor": fabric.floor(core.cid),
+                })
+
+        machine._mark_stalled = mark_stalled
+
+        if trace_messages:
+            original_process = machine._process_message
+
+            def process_message(core, msg: Message):
+                self.messages.append(MsgEvent(
+                    msg.kind.value, msg.src, msg.dst,
+                    msg.send_time, msg.arrival,
+                ))
+                original_process(core, msg)
+
+            machine._process_message = process_message
+
+    def _close_span(self, cid: int, end: float) -> None:
+        entry = self._open.pop(cid, None)
+        if entry is None:
+            return
+        name, start = entry
+        self.spans.append(Span(cid, name, start, end))
+
+    # -- queries -----------------------------------------------------------
+    def core_utilization(self) -> Dict[int, float]:
+        """Fraction of the run each core spent executing tasks.
+
+        Spans on one core may overlap in virtual time across idle periods
+        (an idle core loses its clock and may restart it in the past —
+        paper, Section II), so busy time is the measure of the interval
+        *union*, keeping utilization within [0, 1].
+        """
+        horizon = max((s.end for s in self.spans), default=0.0)
+        if horizon <= 0:
+            return {c.cid: 0.0 for c in self.machine.cores}
+        by_core: Dict[int, List[tuple]] = {
+            c.cid: [] for c in self.machine.cores
+        }
+        for span in self.spans:
+            by_core[span.core].append((span.start, span.end))
+        util: Dict[int, float] = {}
+        for cid, intervals in by_core.items():
+            intervals.sort()
+            busy = 0.0
+            cursor = -1.0
+            for start, end in intervals:
+                start = max(start, cursor)
+                if end > start:
+                    busy += end - start
+                    cursor = end
+            util[cid] = min(1.0, busy / horizon)
+        return util
+
+    def export(self) -> Dict[str, List[Dict[str, Any]]]:
+        """Structured trace for external tooling."""
+        return {
+            "spans": [s.as_dict() for s in self.spans],
+            "stalls": list(self.stalls),
+            "messages": [m.as_dict() for m in self.messages],
+        }
+
+    # -- rendering ---------------------------------------------------------
+    def render_gantt(self, width: int = 72,
+                     cores: Optional[List[int]] = None) -> str:
+        """Text Gantt chart: one lane per core, '#' = executing a task,
+        '.' = idle/waiting."""
+        if not self.spans:
+            return "(no spans recorded)"
+        horizon = max(s.end for s in self.spans)
+        if horizon <= 0:
+            return "(empty trace)"
+        if cores is None:
+            cores = sorted({s.core for s in self.spans})
+        lanes = []
+        for cid in cores:
+            lane = ["."] * width
+            for span in self.spans:
+                if span.core != cid:
+                    continue
+                lo = int(span.start / horizon * (width - 1))
+                hi = max(lo, int(span.end / horizon * (width - 1)))
+                for i in range(lo, hi + 1):
+                    lane[i] = "#"
+            lanes.append((cid, "".join(lane)))
+        label_width = max(len(f"core {cid}") for cid, _ in lanes)
+        lines = [f"virtual time 0 .. {horizon:.0f} cycles"]
+        for cid, lane in lanes:
+            lines.append(f"{f'core {cid}':>{label_width}} |{lane}|")
+        return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""Memory-model protocol shared by all architecture types."""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.actions import CellAccess, MemAccess
+    from ..core.coreunit import CoreUnit
+    from ..core.engine import Machine
+    from ..core.task import Task
+
+
+class MemoryModel:
+    """Interface the engine drives for MemAccess / CellAccess actions."""
+
+    def attach(self, machine: "Machine") -> None:
+        """Bind to a machine; register any message handlers needed."""
+        self.machine = machine
+
+    def access(self, core: "CoreUnit", action: "MemAccess") -> float:
+        """Latency (cycles) of an aggregate shared-memory access."""
+        raise NotImplementedError
+
+    def cell_access(
+        self, core: "CoreUnit", task: "Task", action: "CellAccess"
+    ) -> Optional[float]:
+        """Handle a cell access.
+
+        Returns the access latency when it completes locally, or ``None``
+        when the cell is remote: the model then suspends the task, issues a
+        DATA_REQUEST, and wakes the task when the DATA_RESPONSE arrives.
+        """
+        raise NotImplementedError

@@ -1,0 +1,60 @@
+"""Cells and links: the distributed-memory data model (paper, Section IV).
+
+When using distributed memory, shared data are stored in objects called
+*cells*, bearing similarity to C structures.  Programs access them by
+dereferencing *links* — generalized pointers valid whether the cell is
+stored locally or remotely.  The run-time system transfers remote cell
+content with DATA_REQUEST / DATA_RESPONSE messages and locks the cell for
+the access duration; transferred data land in the initiating core's L2.
+
+Access is exclusive: reads and writes both move the cell to the requester
+(this is what makes Dijkstra and Connected Components collapse on the
+distributed-memory architecture — paper, Section VI).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+_cell_counter = itertools.count()
+
+
+class Cell:
+    """A unit of distributed shared data with a current owner core."""
+
+    __slots__ = ("cid", "data", "size", "owner", "locked_by", "pending", "moves")
+
+    def __init__(self, data: Any = None, size: float = 64.0, owner: int = 0) -> None:
+        if size <= 0:
+            raise ValueError("cell size must be positive")
+        self.cid = next(_cell_counter)
+        self.data = data
+        self.size = size
+        self.owner = owner
+        #: Task currently holding the cell (exclusive access window).
+        self.locked_by: Optional[object] = None
+        #: Remote requests waiting for the cell to be released/transferred.
+        self.pending: Deque[Tuple[object, int]] = deque()
+        #: Number of ownership transfers (contention indicator).
+        self.moves = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cell#{self.cid}(owner={self.owner}, size={self.size})"
+
+
+class Link:
+    """Generalized pointer to a cell (local or remote)."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, cell: Cell) -> None:
+        self.cell = cell
+
+    def deref(self) -> Cell:
+        """Resolve the link to its cell (valid locally or remotely)."""
+        return self.cell
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Link->{self.cell!r}"

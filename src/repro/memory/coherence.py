@@ -1,0 +1,113 @@
+"""Cache-coherence timing effects.
+
+The optimistic shared-memory architecture type ignores coherence delays
+entirely ("the delays induced by cache coherence effects are not taken into
+account" — paper, Section V).  For validation against the cycle-level
+simulator, coherence timings are enabled in SiMany instead of disabled in
+the referee, so both simulators charge the same *kind* of penalties:
+
+* reading an object whose last writer is another core costs a dirty-miss
+  transfer;
+* writing an object shared by other cores costs an invalidation round,
+  growing with the number of sharers.
+
+The directory is object-granularity (the same granularity the workloads
+are annotated at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Set
+
+
+@dataclass
+class _DirEntry:
+    writer: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CoherenceStats:
+    dirty_misses: int = 0
+    invalidation_rounds: int = 0
+    invalidated_copies: int = 0
+    penalty_cycles: float = 0.0
+
+
+class CoherenceModel:
+    """Directory-based coherence penalty model.
+
+    ``dirty_miss_cycles`` is charged when a read hits another core's dirty
+    data; an invalidation round costs ``invalidate_base_cycles`` plus
+    ``invalidate_per_sharer_cycles`` for each remote copy.  An optional
+    ``invalidate_hook`` lets a detailed cache model drop remote copies.
+    """
+
+    def __init__(
+        self,
+        dirty_miss_cycles: float = 20.0,
+        invalidate_base_cycles: float = 10.0,
+        invalidate_per_sharer_cycles: float = 2.0,
+        invalidate_hook: Optional[Callable[[int, Hashable], None]] = None,
+    ) -> None:
+        if min(dirty_miss_cycles, invalidate_base_cycles,
+               invalidate_per_sharer_cycles) < 0:
+            raise ValueError("coherence penalties must be non-negative")
+        self.dirty_miss_cycles = dirty_miss_cycles
+        self.invalidate_base_cycles = invalidate_base_cycles
+        self.invalidate_per_sharer_cycles = invalidate_per_sharer_cycles
+        self.invalidate_hook = invalidate_hook
+        self._dir: Dict[Hashable, _DirEntry] = {}
+        self.stats = CoherenceStats()
+
+    def _entry(self, obj: Hashable) -> _DirEntry:
+        entry = self._dir.get(obj)
+        if entry is None:
+            entry = _DirEntry()
+            self._dir[obj] = entry
+        return entry
+
+    def on_read(self, cid: int, obj: Hashable) -> float:
+        """Coherence penalty of core ``cid`` reading ``obj``."""
+        entry = self._entry(obj)
+        penalty = 0.0
+        if entry.writer is not None and entry.writer != cid:
+            penalty += self.dirty_miss_cycles
+            self.stats.dirty_misses += 1
+            entry.writer = None  # downgraded to shared
+        entry.sharers.add(cid)
+        self.stats.penalty_cycles += penalty
+        return penalty
+
+    def on_write(self, cid: int, obj: Hashable) -> float:
+        """Coherence penalty of core ``cid`` writing ``obj``."""
+        entry = self._entry(obj)
+        penalty = 0.0
+        others = entry.sharers - {cid}
+        if others or (entry.writer is not None and entry.writer != cid):
+            penalty += self.invalidate_base_cycles
+            penalty += self.invalidate_per_sharer_cycles * len(others)
+            self.stats.invalidation_rounds += 1
+            self.stats.invalidated_copies += len(others)
+            if self.invalidate_hook is not None:
+                for other in others:
+                    self.invalidate_hook(other, obj)
+        entry.writer = cid
+        entry.sharers = {cid}
+        self.stats.penalty_cycles += penalty
+        return penalty
+
+    def penalty(self, cid: int, obj: Hashable, reads: int, writes: int) -> float:
+        """Penalty of one aggregate access action (charged once per action)."""
+        total = 0.0
+        if reads:
+            total += self.on_read(cid, obj)
+        if writes:
+            total += self.on_write(cid, obj)
+        return total
+
+    @property
+    def tracked_objects(self) -> int:
+        """Number of objects with directory entries."""
+        return len(self._dir)

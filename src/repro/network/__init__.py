@@ -1,0 +1,45 @@
+"""Interconnect substrate: topologies, links, routing, NoC timing."""
+
+from .link import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_LATENCY,
+    Link,
+    LinkSpec,
+)
+from .noc import Noc, NocStats
+from .routing import RoutingTable, XYRouting
+from .topology import (
+    Topology,
+    clustered_mesh,
+    crossbar,
+    from_adjacency,
+    hierarchical_mesh,
+    mesh2d,
+    ring,
+    square_mesh,
+    to_networkx,
+    torus2d,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_CHUNK_BYTES",
+    "DEFAULT_LATENCY",
+    "Link",
+    "LinkSpec",
+    "Noc",
+    "NocStats",
+    "RoutingTable",
+    "Topology",
+    "XYRouting",
+    "clustered_mesh",
+    "crossbar",
+    "from_adjacency",
+    "hierarchical_mesh",
+    "mesh2d",
+    "ring",
+    "square_mesh",
+    "to_networkx",
+    "torus2d",
+]

@@ -1,0 +1,160 @@
+"""Network-on-chip timing model.
+
+The NoC computes, for every message, its virtual arrival time at the
+destination: the departure time plus the sum of link latencies and router
+penalties along the route, the serialization time of the message's chunks,
+and any contention delay on individual links (each directed link tracks
+its own busy window).
+
+It also enforces the ordering guarantee of Section II-B: a core receives
+all messages coming from another given core in the order the latter sent
+them; only messages from *different* sources may be processed out of order.
+This is realized by never letting the arrival time of a (src, dst) pair
+regress below the previous message's arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .link import DEFAULT_CHUNK_BYTES, Link
+from .routing import RoutingTable
+from .topology import Topology
+
+
+@dataclass
+class NocStats:
+    """Aggregate NoC counters for one simulation."""
+
+    messages: int = 0
+    total_bytes: float = 0.0
+    total_hops: int = 0
+    contention_cycles: float = 0.0
+    fifo_adjustments: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for report tables."""
+        return {
+            "messages": self.messages,
+            "total_bytes": self.total_bytes,
+            "total_hops": self.total_hops,
+            "contention_cycles": self.contention_cycles,
+            "fifo_adjustments": self.fifo_adjustments,
+        }
+
+
+class Noc:
+    """Message timing over a topology.
+
+    Parameters mirror the paper's tunables: per-link latency/bandwidth live
+    in the topology's ``LinkSpec``s; ``router_penalty`` is the per-hop
+    routing cost; ``chunk_bytes`` the message chunk size; ``model_contention``
+    toggles per-link busy tracking (the optimistic shared-memory architecture
+    type ignores interconnect contention entirely and does not use a Noc).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        router_penalty: float = 1.0,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        model_contention: bool = True,
+        routing: Optional[RoutingTable] = None,
+    ) -> None:
+        if router_penalty < 0:
+            raise ValueError("router penalty must be non-negative")
+        if chunk_bytes <= 0:
+            raise ValueError("chunk size must be positive")
+        self.topo = topo
+        self.routing = routing or RoutingTable(topo)
+        self.router_penalty = router_penalty
+        self.chunk_bytes = chunk_bytes
+        self.model_contention = model_contention
+        self._links: Dict[Tuple[int, int], Link] = {}
+        self._fifo_floor: Dict[Tuple[int, int], float] = {}
+        self.stats = NocStats()
+
+    def _link(self, u: int, v: int) -> Link:
+        key = (u, v)
+        link = self._links.get(key)
+        if link is None:
+            link = Link(self.topo.link_spec(u, v), chunk_bytes=self.chunk_bytes)
+            self._links[key] = link
+        return link
+
+    # ------------------------------------------------------------------
+    def delivery_time(self, src: int, dst: int, size_bytes: float, depart: float) -> float:
+        """Compute (and commit) the arrival time of one message.
+
+        Returns the virtual time at which the destination may start
+        processing the message.  Local messages (src == dst) cost nothing:
+        they never touch the interconnect.
+        """
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src == dst:
+            return depart
+        path = self.routing.path(src, dst)
+        t = depart
+        if self.model_contention:
+            for u, v in zip(path, path[1:]):
+                link = self._link(u, v)
+                before = link.contention_cycles
+                t = link.traverse(t, size_bytes) + self.router_penalty
+                self.stats.contention_cycles += link.contention_cycles - before
+        else:
+            # Latency + one serialization (pipelined/wormhole) + hop penalties.
+            serialization = Link(
+                self.topo.link_spec(path[0], path[1]), chunk_bytes=self.chunk_bytes
+            ).serialization_time(size_bytes)
+            t = depart + self.routing.path_latency(src, dst)
+            t += serialization + self.router_penalty * (len(path) - 1)
+
+        hops = len(path) - 1
+        self.stats.messages += 1
+        self.stats.total_bytes += size_bytes
+        self.stats.total_hops += hops
+
+        # Per-source FIFO: arrival times of a (src, dst) stream never regress.
+        key = (src, dst)
+        floor = self._fifo_floor.get(key, 0.0)
+        if t < floor:
+            t = floor
+            self.stats.fifo_adjustments += 1
+        self._fifo_floor[key] = t
+        return t
+
+    def min_latency(self, src: int, dst: int) -> float:
+        """Uncontended, zero-size message latency between two cores."""
+        if src == dst:
+            return 0.0
+        hops = self.routing.hop_count(src, dst)
+        return self.routing.path_latency(src, dst) + self.router_penalty * hops
+
+    def reset(self) -> None:
+        """Clear all run-time state (links, FIFO floors, stats)."""
+        for link in self._links.values():
+            link.reset()
+        self._fifo_floor.clear()
+        self.stats = NocStats()
+
+    def link_utilization(self) -> Dict[Tuple[int, int], float]:
+        """Bytes carried per directed link (for hotspot analysis)."""
+        return {k: link.bytes_carried for k, link in self._links.items()}
+
+    def hotspots(self, k: int = 5) -> list:
+        """The ``k`` busiest directed links: (src, dst, bytes, contention).
+
+        Routing-induced hotspots are the classic many-core design hazard;
+        this is the view an architect checks after changing a topology.
+        """
+        ranked = sorted(
+            self._links.items(),
+            key=lambda item: item[1].bytes_carried,
+            reverse=True,
+        )
+        return [
+            (u, v, link.bytes_carried, link.contention_cycles)
+            for (u, v), link in ranked[:k]
+        ]

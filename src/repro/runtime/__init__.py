@@ -1,0 +1,25 @@
+"""Task run-time system: conditional spawning, groups/join, locks."""
+
+from .dispatch import (
+    DISPATCH_POLICIES,
+    DispatchPolicy,
+    LatencyAwareDispatch,
+    OccupancyDispatch,
+    RandomDispatch,
+    SpeedAwareDispatch,
+    make_dispatch,
+)
+from .locks import SimLock
+from .runtime import Runtime
+
+__all__ = [
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
+    "LatencyAwareDispatch",
+    "OccupancyDispatch",
+    "RandomDispatch",
+    "Runtime",
+    "SimLock",
+    "SpeedAwareDispatch",
+    "make_dispatch",
+]

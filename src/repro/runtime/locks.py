@@ -1,0 +1,46 @@
+"""Simulation-visible locks.
+
+A task holding a lock exempts its core from drift stalls until release
+(the paper's Section II-B deadlock-avoidance scheme), because a very-late
+contender would otherwise prevent the holder from ever advancing far enough
+to release.
+
+Two flavours:
+
+* *local* locks (``home_core=None``): shared-memory style; acquisition is
+  an atomic RMW on the lock's memory word;
+* *homed* locks: the lock lives on a home core; remote acquisition runs a
+  LOCK_REQUEST / LOCK_GRANT message protocol over the NoC.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Optional
+
+_lock_counter = itertools.count()
+
+
+class SimLock:
+    """One lock instance (FIFO grant order)."""
+
+    __slots__ = ("lid", "name", "home_core", "holder", "waiters",
+                 "acquisitions", "contended_acquisitions")
+
+    def __init__(self, name: str = "", home_core: Optional[int] = None) -> None:
+        self.lid = next(_lock_counter)
+        self.name = name or f"lock{self.lid}"
+        self.home_core = home_core
+        self.holder: Optional[object] = None  # Task
+        self.waiters: Deque[object] = deque()
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    @property
+    def is_held(self) -> bool:
+        """Whether some task currently holds the lock."""
+        return self.holder is not None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimLock({self.name}, held={self.is_held}, waiters={len(self.waiters)})"

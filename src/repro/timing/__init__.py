@@ -1,0 +1,21 @@
+"""Timing annotation substrate: instruction classes, block costs, branches."""
+
+from .annotator import Block, BlockAnnotator
+from .branch import (
+    DEFAULT_ACCURACY,
+    DEFAULT_PENALTY_CYCLES,
+    BranchPredictorModel,
+)
+from .isa import DEFAULT_COSTS, CostTable, InstrClass, default_cost_table
+
+__all__ = [
+    "Block",
+    "BlockAnnotator",
+    "BranchPredictorModel",
+    "CostTable",
+    "DEFAULT_ACCURACY",
+    "DEFAULT_COSTS",
+    "DEFAULT_PENALTY_CYCLES",
+    "InstrClass",
+    "default_cost_table",
+]

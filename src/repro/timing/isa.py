@@ -1,0 +1,100 @@
+"""Instruction-class cost model.
+
+SiMany does not emulate an ISA.  Instead, every *block* (a straight piece of
+code with no interaction with other architectural components) is annotated
+with the number of instructions it executes, grouped by class.  All
+instructions within a class share a single cycle cost (paper, Section V).
+
+The default cost table is flavoured after the 32-bit PowerPC 405 scalar
+5-stage pipeline the paper simulates: single-cycle integer ALU operations,
+a multi-cycle integer multiply, and slower floating-point operations
+(the 405 has no FPU; FP work is several cycles per operation once modelled
+at this level of abstraction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+
+class InstrClass(enum.Enum):
+    """Instruction classes distinguished by the timing model.
+
+    The paper groups the ISA into classes including unconditional branches,
+    conditional branches, common integer arithmetic, integer multiply,
+    simple floating-point arithmetic and floating-point multiply/divide.
+    """
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH_UNCOND = "branch_uncond"
+    BRANCH_COND = "branch_cond"
+    NOP = "nop"
+
+
+#: Default per-class costs, in cycles, for a scalar in-order 5-stage core.
+DEFAULT_COSTS: Dict[InstrClass, float] = {
+    InstrClass.INT_ALU: 1.0,
+    InstrClass.INT_MUL: 4.0,
+    InstrClass.INT_DIV: 35.0,
+    InstrClass.FP_ADD: 5.0,
+    InstrClass.FP_MUL: 6.0,
+    InstrClass.FP_DIV: 30.0,
+    InstrClass.LOAD: 1.0,   # L1-hit component; cache models add miss penalties
+    InstrClass.STORE: 1.0,
+    InstrClass.BRANCH_UNCOND: 1.0,
+    InstrClass.BRANCH_COND: 1.0,  # predictor model adds mispredict penalties
+    InstrClass.NOP: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Immutable per-class instruction cost table.
+
+    A ``speed_factor`` scales all costs; polymorphic architectures are built
+    by giving cores factors such as ``2.0`` (twice slower) or ``2/3``
+    (1.5x faster) while keeping a single shared table.
+    """
+
+    costs: Mapping[InstrClass, float] = field(
+        default_factory=lambda: dict(DEFAULT_COSTS)
+    )
+
+    def __post_init__(self) -> None:
+        for klass in InstrClass:
+            if klass not in self.costs:
+                raise ValueError(f"cost table missing class {klass}")
+            if self.costs[klass] < 0:
+                raise ValueError(f"negative cost for {klass}")
+
+    def cost_of(self, klass: InstrClass, count: float = 1.0) -> float:
+        """Cycles consumed by ``count`` instructions of ``klass``."""
+        if count < 0:
+            raise ValueError("instruction count must be non-negative")
+        return self.costs[klass] * count
+
+    def scaled(self, factor: float) -> "CostTable":
+        """Return a table with every cost multiplied by ``factor``."""
+        if factor <= 0:
+            raise ValueError("speed factor must be positive")
+        return CostTable({k: v * factor for k, v in self.costs.items()})
+
+    def with_cost(self, klass: InstrClass, cycles: float) -> "CostTable":
+        """Return a table with one class cost replaced."""
+        new = dict(self.costs)
+        new[klass] = cycles
+        return replace(self, costs=new)
+
+
+def default_cost_table() -> CostTable:
+    """The PowerPC-405-flavoured default cost table."""
+    return CostTable()

@@ -1,0 +1,89 @@
+"""Dwarf-like task-based benchmarks (paper, Section V).
+
+Six benchmarks with dynamic control flow and irregular data structures:
+Quicksort (shared-memory array and distributed list/BST versions),
+Connected Components, Dijkstra, Barnes-Hut (force phase), SpMxV, Octree.
+
+Use :func:`get_workload` to build an instance:
+
+    run = get_workload("dijkstra", scale="small", seed=0, memory="shared")
+    machine = build_machine(shared_mesh(64))
+    result = machine.run(run.root)
+    run.verify(result["output"])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from . import barnes_hut, connected_components, dijkstra, octree, quicksort, spmxv
+from .base import (
+    DataSpace,
+    DistSpace,
+    SharedSpace,
+    WorkloadRun,
+    make_space,
+    spread_home,
+)
+from .generators import SCALE_PARAMS, params_for
+
+#: The six dwarfs, in the paper's presentation order.
+BENCHMARKS = (
+    "barnes_hut",
+    "connected_components",
+    "dijkstra",
+    "quicksort",
+    "spmxv",
+    "octree",
+)
+
+#: The subset used for cycle-level validation (Figs. 5-6).
+VALIDATION_BENCHMARKS = (
+    "barnes_hut",
+    "connected_components",
+    "quicksort",
+    "spmxv",
+)
+
+
+def _make_quicksort(scale="small", seed=0, memory="shared", **kwargs):
+    if memory == "distributed":
+        return quicksort.make_distributed(scale=scale, seed=seed, **kwargs)
+    return quicksort.make_shared(scale=scale, seed=seed, **kwargs)
+
+
+_FACTORIES: Dict[str, Callable[..., WorkloadRun]] = {
+    "quicksort": _make_quicksort,
+    "connected_components": connected_components.make_workload,
+    "dijkstra": dijkstra.make_workload,
+    "barnes_hut": barnes_hut.make_workload,
+    "spmxv": spmxv.make_workload,
+    "octree": octree.make_workload,
+}
+
+
+def get_workload(name: str, scale: str = "small", seed: int = 0,
+                 memory: str = "shared", **kwargs) -> WorkloadRun:
+    """Build a benchmark instance by name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from exc
+    return factory(scale=scale, seed=seed, memory=memory, **kwargs)
+
+
+__all__ = [
+    "BENCHMARKS",
+    "DataSpace",
+    "DistSpace",
+    "SCALE_PARAMS",
+    "SharedSpace",
+    "VALIDATION_BENCHMARKS",
+    "WorkloadRun",
+    "get_workload",
+    "make_space",
+    "params_for",
+    "spread_home",
+]

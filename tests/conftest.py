@@ -1,0 +1,93 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchConfig, build_machine, dist_mesh, shared_mesh
+from repro.core.task import TaskGroup
+
+
+@pytest.fixture
+def mesh8():
+    """A small shared-memory machine (8 cores)."""
+    return build_machine(shared_mesh(8))
+
+
+@pytest.fixture
+def mesh16():
+    return build_machine(shared_mesh(16))
+
+
+@pytest.fixture
+def dist8():
+    """A small distributed-memory machine (8 cores)."""
+    return build_machine(dist_mesh(8))
+
+
+@pytest.fixture
+def single():
+    """A single-core machine."""
+    return build_machine(shared_mesh(1))
+
+
+def fanout_root(n_children: int, child_cycles: float = 100.0):
+    """A root task spawning ``n_children`` compute tasks and joining them."""
+
+    def child(ctx, i):
+        yield ctx.compute(cycles=child_cycles)
+        return i
+
+    def root(ctx):
+        group = TaskGroup("fanout")
+        for i in range(n_children):
+            yield from ctx.spawn_or_inline(child, i, group=group)
+        yield ctx.join(group)
+        t = yield ctx.now()
+        return {"n": n_children, "t": t}
+
+    return root
+
+
+def recursive_root(depth: int, cycles: float = 50.0):
+    """A binary-recursive task tree of the given depth."""
+
+    def rec(ctx, d):
+        yield ctx.compute(cycles=cycles)
+        if d > 0:
+            group = TaskGroup()
+            yield from ctx.spawn_or_inline(rec, d - 1, group=group)
+            yield from ctx.spawn_or_inline(rec, d - 1, group=group)
+            yield ctx.join(group)
+        return d
+
+    def root(ctx):
+        result = yield from rec(ctx, depth)
+        t = yield ctx.now()
+        return {"depth": result, "t": t}
+
+    return root
+
+
+class DriftRecorder:
+    """Records the maximum pairwise active-core drift during a run."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.max_spread = 0.0
+        fabric = machine.fabric
+        original = fabric.advance
+
+        def advance(cid, new_time):
+            original(cid, new_time)
+            active_times = [
+                fabric.vtime[c]
+                for c in range(fabric.n_cores)
+                if fabric.active[c]
+            ]
+            if len(active_times) > 1:
+                spread = max(active_times) - min(active_times)
+                if spread > self.max_spread:
+                    self.max_spread = spread
+
+        fabric.advance = advance

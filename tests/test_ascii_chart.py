@@ -1,0 +1,72 @@
+"""Tests for the ASCII figure renderer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harness.ascii_chart import GLYPHS, render_loglog
+
+
+class TestRenderLogLog:
+    def test_title_and_legend(self):
+        out = render_loglog({"a": {1: 1.0, 8: 2.0}}, title="My Figure")
+        assert out.startswith("My Figure")
+        assert "o a" in out
+
+    def test_empty_data(self):
+        assert "(no data)" in render_loglog({}, title="T")
+        assert "(no data)" in render_loglog({"a": {}}, title="T")
+
+    def test_nonpositive_points_dropped(self):
+        out = render_loglog({"a": {1: 1.0, 8: 0.0, 64: -5.0}})
+        assert "o" in out  # the positive point plots
+
+    def test_inf_points_dropped(self):
+        out = render_loglog({"a": {1: 1.0, 8: math.inf}})
+        assert "o" in out
+
+    def test_axis_labels(self):
+        out = render_loglog({"a": {1: 1.0, 1024: 100.0}})
+        assert "(cores, log)" in out
+        assert "speedup" in out
+
+    def test_extremes_plotted_at_corners(self):
+        out = render_loglog({"a": {1: 1.0, 1024: 1000.0}},
+                            width=40, height=10)
+        lines = out.splitlines()
+        plot_lines = [line for line in lines if "|" in line]
+        # Max value on the top plot row, min on the bottom one.
+        assert "o" in plot_lines[0]
+        assert "o" in plot_lines[-1]
+
+    def test_multiple_series_distinct_glyphs(self):
+        curves = {f"s{i}": {1: 1.0, 8: float(i + 2)} for i in range(4)}
+        out = render_loglog(curves)
+        for i in range(4):
+            assert f"{GLYPHS[i]} s{i}" in out
+
+    def test_single_point_series(self):
+        out = render_loglog({"a": {4: 2.0}})
+        assert "o" in out
+
+    def test_flat_series(self):
+        out = render_loglog({"a": {1: 5.0, 8: 5.0, 64: 5.0}})
+        assert out.count("o") >= 3
+
+    @given(
+        values=st.dictionaries(
+            st.sampled_from([1, 2, 4, 8, 16, 64, 256, 1024]),
+            st.floats(min_value=0.01, max_value=1e5),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=40)
+    def test_never_crashes_and_bounds_lines(self, values):
+        out = render_loglog({"x": values}, width=50, height=12)
+        lines = out.splitlines()
+        plot_lines = [line for line in lines if "|" in line]
+        assert len(plot_lines) == 12
+        for line in plot_lines:
+            body = line.split("|", 1)[1]
+            assert len(body) <= 50

@@ -1,0 +1,74 @@
+"""Tests for the Barnes-Hut phase-1 (parallel tree build) extension."""
+
+import pytest
+
+from repro.arch import build_machine, shared_mesh
+from repro.workloads.barnes_hut import (
+    _accel_on,
+    parallel_build_root,
+    reference_parallel_tree,
+)
+from repro.workloads.generators import random_bodies
+
+
+def tree_signature(node):
+    """Structural signature: (mass, com, leaf bodies) recursively."""
+    return (
+        round(node.mass, 12),
+        tuple(round(c, 12) for c in node.com),
+        tuple(sorted(node.bodies)),
+        tuple(tree_signature(c) for c in node.children),
+    )
+
+
+class TestParallelBuild:
+    @pytest.mark.parametrize("n_bodies", [8, 40, 100])
+    @pytest.mark.parametrize("n_cores", [1, 9])
+    def test_matches_reference_tree(self, n_bodies, n_cores):
+        bodies = random_bodies(n_bodies, seed=5)
+        machine = build_machine(shared_mesh(n_cores))
+        result = machine.run(parallel_build_root(bodies))
+        built = result["output"]
+        reference = reference_parallel_tree(bodies)
+        assert tree_signature(built) == tree_signature(reference)
+
+    def test_total_mass_conserved(self):
+        bodies = random_bodies(60, seed=2)
+        machine = build_machine(shared_mesh(8))
+        tree = machine.run(parallel_build_root(bodies))["output"]
+        assert tree.mass == pytest.approx(sum(b.mass for b in bodies))
+
+    def test_built_tree_usable_for_forces(self):
+        """Phase 1 output feeds phase 2: accelerations on the simulated
+        tree equal those on the host-built reference."""
+        bodies = random_bodies(50, seed=7)
+        machine = build_machine(shared_mesh(8))
+        built = machine.run(parallel_build_root(bodies))["output"]
+        reference = reference_parallel_tree(bodies)
+        for idx in (0, 13, 49):
+            got = _accel_on(bodies, idx, built)
+            want = _accel_on(bodies, idx, reference)
+            for g, w in zip(got, want):
+                assert g == pytest.approx(w, rel=1e-12)
+
+    def test_build_parallelizes(self):
+        """The octant decomposition gives real phase-1 speedup."""
+        bodies = random_bodies(200, seed=1)
+        vt = {}
+        for n in (1, 16):
+            machine = build_machine(shared_mesh(n))
+            vt[n] = machine.run(parallel_build_root(bodies))["work_vtime"]
+        assert vt[16] < vt[1]
+
+    def test_empty_octants_skipped(self):
+        """Bodies clustered in one octant spawn a single build task."""
+        bodies = random_bodies(30, seed=0)
+        for body in bodies:  # squeeze everything into the low octant
+            body.x *= 0.4
+            body.y *= 0.4
+            body.z *= 0.4
+        machine = build_machine(shared_mesh(8))
+        result = machine.run(parallel_build_root(bodies))
+        assert machine.stats.tasks_started <= 2  # root + one builder
+        reference = reference_parallel_tree(bodies)
+        assert tree_signature(result["output"]) == tree_signature(reference)

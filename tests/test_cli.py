@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "mining"])
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(["sweep", "fig8", "--sizes", "1,4,16"])
+        assert args.sizes == (1, 4, 16)
+
+
+class TestList:
+    def test_lists_benchmarks(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in ("quicksort", "dijkstra", "octree"):
+            assert name in text
+
+
+class TestInfo:
+    def test_paper_parameters_shown(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "drift bound T" in text
+        assert "100" in text
+
+
+class TestRun:
+    def test_basic_run(self):
+        code, text = run_cli("run", "octree", "--cores", "4",
+                             "--scale", "tiny")
+        assert code == 0
+        assert "virtual time" in text
+        assert "output verified  : yes" in text
+
+    def test_with_baseline(self):
+        code, text = run_cli("run", "spmxv", "--cores", "4",
+                             "--scale", "tiny", "--baseline")
+        assert code == 0
+        assert "speedup vs 1 core" in text
+
+    def test_distributed(self):
+        code, text = run_cli("run", "quicksort", "--cores", "4",
+                             "--memory", "distributed", "--scale", "tiny")
+        assert code == 0
+        assert "output verified  : yes" in text
+
+    def test_polymorphic(self):
+        code, text = run_cli("run", "octree", "--cores", "4",
+                             "--arch", "polymorphic", "--scale", "tiny")
+        assert code == 0
+
+    def test_clustered_requires_distributed(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "octree", "--cores", "16", "--arch", "clustered",
+                    "--memory", "shared", "--scale", "tiny")
+
+    def test_sync_selection(self):
+        code, text = run_cli("run", "octree", "--cores", "4",
+                             "--scale", "tiny", "--sync", "conservative")
+        assert code == 0
+        assert "sync=conservative" in text
+
+    def test_dispatch_selection(self):
+        code, _ = run_cli("run", "octree", "--cores", "4", "--scale", "tiny",
+                          "--dispatch", "speed_aware")
+        assert code == 0
+
+    def test_drift_override(self):
+        code, text = run_cli("run", "octree", "--cores", "4",
+                             "--scale", "tiny", "--drift", "500")
+        assert code == 0
+        assert "T=500" in text
+
+
+class TestSweep:
+    @pytest.mark.parametrize("figure", ["fig8", "fig9"])
+    def test_scalability_sweeps(self, figure):
+        code, text = run_cli("sweep", figure, "--sizes", "1,4",
+                             "--scale", "tiny")
+        assert code == 0
+        assert "speedup" in text
+
+    def test_validation_sweep(self):
+        code, text = run_cli("sweep", "fig5", "--sizes", "1,4",
+                             "--scale", "tiny")
+        assert code == 0
+        assert "geomean error" in text
+
+    def test_drift_sweep(self):
+        code, text = run_cli("sweep", "fig10", "--sizes", "1,4",
+                             "--scale", "tiny")
+        assert code == 0
+        assert "T=50" in text
+
+
+class TestPolicies:
+    def test_policy_comparison(self):
+        code, text = run_cli("policies", "octree", "--cores", "4",
+                             "--scale", "tiny")
+        assert code == 0
+        assert "conservative" in text
+        assert "spatial" in text

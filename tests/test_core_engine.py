@@ -1,0 +1,258 @@
+"""Unit tests for the engine: action semantics, messaging, lifecycle."""
+
+import pytest
+
+from repro.arch import build_machine, dist_mesh, shared_mesh
+from repro.core.engine import EngineParams, Machine
+from repro.core.errors import SimConfigError, SimDeadlock, SimError
+from repro.core.messages import MsgKind
+from repro.core.sync import SpatialSync
+from repro.core.task import TaskGroup
+from repro.network.topology import mesh2d
+from repro.timing.annotator import Block
+from repro.timing.isa import InstrClass
+
+from conftest import fanout_root, recursive_root
+
+
+class TestEngineParams:
+    def test_paper_defaults(self):
+        params = EngineParams()
+        assert params.task_start_cycles == 10.0
+        assert params.context_switch_cycles == 15.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimConfigError):
+            EngineParams(queue_capacity=0)
+
+    def test_invalid_slice(self):
+        with pytest.raises(SimConfigError):
+            EngineParams(slice_actions=0)
+
+
+class TestMachineLifecycle:
+    def test_single_use(self, mesh8):
+        def root(ctx):
+            yield ctx.compute(cycles=1)
+            return 1
+
+        assert mesh8.run(root) == 1
+        with pytest.raises(SimError):
+            mesh8.run(root)
+
+    def test_requires_attachments(self):
+        machine = Machine(mesh2d(2, 1), SpatialSync())
+        with pytest.raises(SimConfigError):
+            machine.run(lambda ctx: iter(()))
+
+    def test_speed_factor_length_checked(self):
+        with pytest.raises(SimConfigError):
+            Machine(mesh2d(2, 1), SpatialSync(), speed_factors=[1.0])
+
+    def test_empty_root(self, mesh8):
+        def root(ctx):
+            return "nothing"
+            yield  # pragma: no cover
+
+        assert mesh8.run(root) == "nothing"
+
+    def test_completion_time_exposed(self, mesh8):
+        def root(ctx):
+            yield ctx.compute(cycles=123)
+
+        mesh8.run(root)
+        assert mesh8.completion_time >= 123
+
+
+class TestComputeAction:
+    def test_raw_cycles(self, single):
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.compute(cycles=500)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == 500.0
+
+    def test_block_cost(self, single):
+        block = Block("b", instr_counts={InstrClass.INT_ALU: 100})
+
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.compute(block=block)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == pytest.approx(100.0)
+
+    def test_repeat(self, single):
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.compute(cycles=10, repeat=7)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == pytest.approx(70.0)
+
+    def test_speed_factor_scales_compute(self):
+        machine = Machine(mesh2d(1, 1), SpatialSync(), speed_factors=[2.0])
+        from repro.memory.sharedmem import SharedMemoryModel
+        from repro.runtime.runtime import Runtime
+
+        machine.attach_memory(SharedMemoryModel())
+        machine.attach_runtime(Runtime())
+
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.compute(cycles=100)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert machine.run(root) == pytest.approx(200.0)
+
+    def test_negative_compute_rejected(self, single):
+        from repro.core.errors import TaskError
+
+        def root(ctx):
+            yield ctx.compute(cycles=-5)
+
+        # The action validates at construction (inside the task), so the
+        # engine surfaces it wrapped with simulation context.
+        with pytest.raises(TaskError) as err:
+            single.run(root)
+        assert isinstance(err.value.__cause__, ValueError)
+
+
+class TestMemAction:
+    def test_shared_latency(self, single):
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.mem(reads=10)  # all misses -> 10 * bank(10cy)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == pytest.approx(100.0)
+
+    def test_l1_hits_cheaper(self, single):
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.mem(reads=10, l1_hit_fraction=1.0)
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == pytest.approx(10.0)
+
+
+class TestUserMessaging:
+    def test_send_recv_roundtrip(self, mesh8):
+        def receiver(ctx):
+            msg = yield ctx.recv(tag="ping")
+            return msg.payload
+
+        def root(ctx):
+            group = TaskGroup()
+            # Place the receiver task by spawning; it may land remotely or
+            # run inline - use explicit send to core 1 instead.
+            yield ctx.send(1, payload="hello", tag="ping")
+            yield ctx.compute(cycles=10)
+            return "sent"
+
+        # Run a receiver by hand on core 1 through a combined root.
+        def combined(ctx):
+            yield ctx.send(ctx.core_id, payload=42, tag="loop")
+            msg = yield ctx.recv(tag="loop")
+            return msg.payload
+
+        assert mesh8.run(combined) == 42
+
+    def test_recv_blocks_until_send(self, mesh8):
+        log = []
+
+        def helper(ctx, root_core):
+            yield ctx.compute(cycles=500)
+            yield ctx.send(root_core, payload="late", tag="t")
+
+        def root(ctx):
+            group = TaskGroup()
+            yield from ctx.spawn_or_inline(helper, ctx.core_id, group=group)
+            msg = yield ctx.recv(tag="t")
+            log.append(msg.payload)
+            yield ctx.join(group)
+            return msg.arrival
+
+        arrival = mesh8.run(root)
+        assert log == ["late"]
+        assert arrival >= 500
+
+    def test_message_kind_counts(self, mesh8):
+        mesh8.run(fanout_root(6))
+        counts = mesh8.stats.messages_by_kind
+        assert counts[MsgKind.PROBE] == counts[MsgKind.PROBE_ACK] + counts[
+            MsgKind.PROBE_NACK
+        ]
+        assert counts[MsgKind.TASK_SPAWN] == counts[MsgKind.PROBE_ACK]
+
+
+class TestDeadlockDetection:
+    def test_recv_without_send_deadlocks(self, mesh8):
+        def root(ctx):
+            yield ctx.recv(tag="never")
+
+        with pytest.raises(SimDeadlock) as err:
+            mesh8.run(root)
+        assert err.value.diagnostics["live_tasks"] == 1
+
+    def test_join_unsatisfiable_via_manual_group(self, mesh8):
+        def root(ctx):
+            group = TaskGroup()
+            group.register()  # member that will never terminate
+            yield ctx.join(group)
+
+        with pytest.raises(SimDeadlock):
+            mesh8.run(root)
+
+
+class TestStats:
+    def test_busy_cycles_recorded(self, mesh8):
+        mesh8.run(fanout_root(8, child_cycles=200))
+        assert sum(mesh8.stats.core_busy_cycles.values()) > 0
+
+    def test_action_count(self, single):
+        def root(ctx):
+            for _ in range(10):
+                yield ctx.compute(cycles=1)
+
+        single.run(root)
+        assert single.stats.actions == 10
+        assert single.stats.compute_actions == 10
+
+    def test_max_host_actions_guard(self):
+        params = EngineParams(max_host_actions=5)
+        machine = Machine(mesh2d(1, 1), SpatialSync(), params)
+        from repro.memory.sharedmem import SharedMemoryModel
+        from repro.runtime.runtime import Runtime
+
+        machine.attach_memory(SharedMemoryModel())
+        machine.attach_runtime(Runtime())
+
+        def root(ctx):
+            while True:
+                yield ctx.compute(cycles=1)
+
+        with pytest.raises(SimError):
+            machine.run(root)
+
+
+class TestRecursiveWork:
+    def test_recursion_completes_all_sizes(self):
+        for n in (1, 4, 16):
+            machine = build_machine(shared_mesh(n))
+            result = machine.run(recursive_root(5))
+            assert result["depth"] == 5
+
+    def test_more_cores_not_slower_fanout(self):
+        wide = build_machine(shared_mesh(16))
+        narrow = build_machine(shared_mesh(1))
+        t_wide = wide.run(fanout_root(32, child_cycles=1000))["t"]
+        t_narrow = narrow.run(fanout_root(32, child_cycles=1000))["t"]
+        assert t_wide < t_narrow

@@ -1,0 +1,273 @@
+"""Unit tests for the virtual-time fabric (spatial sync bookkeeping)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fabric import VirtualTimeFabric
+from repro.network.topology import mesh2d, ring
+
+INF = math.inf
+
+
+def make_fabric(topo=None, T=100.0, shadow=True, mode="exact", hook=None):
+    return VirtualTimeFabric(
+        topo or mesh2d(3, 3), drift_bound=T, shadow_enabled=shadow,
+        shadow_mode=mode, on_publish_increase=hook,
+    )
+
+
+class TestClockBasics:
+    def test_invalid_drift_rejected(self):
+        with pytest.raises(ValueError):
+            make_fabric(T=0.0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_fabric(mode="weird")
+
+    def test_activation_sets_vtime(self):
+        fabric = make_fabric()
+        fabric.set_active(0, 42.0)
+        assert fabric.active[0]
+        assert fabric.vtime[0] == 42.0
+        assert fabric.max_vtime == 42.0
+
+    def test_double_activation_rejected(self):
+        fabric = make_fabric()
+        fabric.set_active(0, 0.0)
+        with pytest.raises(RuntimeError):
+            fabric.set_active(0, 1.0)
+
+    def test_idle_without_active_rejected(self):
+        fabric = make_fabric()
+        with pytest.raises(RuntimeError):
+            fabric.set_idle(0)
+
+    def test_advance_monotone(self):
+        fabric = make_fabric()
+        fabric.set_active(0, 10.0)
+        fabric.advance(0, 20.0)
+        with pytest.raises(ValueError):
+            fabric.advance(0, 5.0)
+
+    def test_advance_idle_rejected(self):
+        fabric = make_fabric()
+        with pytest.raises(RuntimeError):
+            fabric.advance(0, 5.0)
+
+    def test_advance_noop_same_time(self):
+        fabric = make_fabric()
+        fabric.set_active(0, 10.0)
+        fabric.advance(0, 10.0)
+        assert fabric.vtime[0] == 10.0
+
+
+class TestDriftRule:
+    def test_lone_active_core_unconstrained_without_neighbors_active(self):
+        # With shadow time, idle neighbours publish min+T, so a lone core
+        # at the start has floor = its own time + T (through shadows).
+        fabric = make_fabric()
+        fabric.set_active(4, 0.0)  # center of the 3x3 mesh
+        assert fabric.drift_ok(4)
+
+    def test_stall_when_ahead_of_neighbor(self):
+        fabric = make_fabric(shadow=False)
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.advance(0, 150.0)
+        assert not fabric.drift_ok(0)  # 150 > 0 + 100
+        assert fabric.drift_ok(1)
+
+    def test_exactly_at_bound_ok(self):
+        fabric = make_fabric(shadow=False)
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.advance(0, 100.0)
+        assert fabric.drift_ok(0)
+
+    def test_unstall_when_neighbor_catches_up(self):
+        fabric = make_fabric(shadow=False)
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.advance(0, 150.0)
+        assert not fabric.drift_ok(0)
+        fabric.advance(1, 60.0)
+        assert fabric.drift_ok(0)
+
+    def test_idle_core_always_ok(self):
+        fabric = make_fabric()
+        assert fabric.drift_ok(3)
+
+    def test_floor_is_most_late_neighbor(self):
+        fabric = make_fabric(shadow=False, topo=mesh2d(3, 1))
+        fabric.set_active(0, 30.0)
+        fabric.set_active(1, 0.0)
+        fabric.set_active(2, 70.0)
+        assert fabric.neighbor_floor(1) == 30.0
+        assert fabric.floor(1) == 30.0
+
+    def test_publish_hook_called(self):
+        seen = []
+        fabric = make_fabric(hook=seen.append, shadow=False)
+        fabric.set_active(0, 0.0)
+        fabric.advance(0, 10.0)
+        assert 0 in seen
+
+
+class TestBirthLedger:
+    def test_birth_constrains_floor(self):
+        fabric = make_fabric(shadow=False, topo=mesh2d(2, 1))
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.advance(0, 50.0)
+        fabric.add_birth(0, 10.0)
+        fabric.advance(1, 60.0)
+        assert fabric.floor(0) == 10.0
+        fabric.advance(0, 120.0)
+        assert not fabric.drift_ok(0)  # 120 > 10 + 100
+        fabric.remove_birth(0, 10.0)
+        assert fabric.drift_ok(0)
+
+    def test_duplicate_birth_counts(self):
+        fabric = make_fabric()
+        fabric.add_birth(0, 5.0)
+        fabric.add_birth(0, 5.0)
+        fabric.remove_birth(0, 5.0)
+        assert fabric.births_min(0) == 5.0
+        fabric.remove_birth(0, 5.0)
+        assert fabric.births_min(0) == INF
+
+    def test_remove_unknown_birth_rejected(self):
+        fabric = make_fabric()
+        with pytest.raises(RuntimeError):
+            fabric.remove_birth(0, 1.0)
+
+    def test_births_min_tracks_minimum(self):
+        fabric = make_fabric()
+        fabric.add_birth(0, 30.0)
+        fabric.add_birth(0, 10.0)
+        fabric.add_birth(0, 20.0)
+        assert fabric.births_min(0) == 10.0
+        fabric.remove_birth(0, 10.0)
+        assert fabric.births_min(0) == 20.0
+
+
+class TestShadowTime:
+    def test_exact_shadow_is_distance_scaled(self):
+        """shadow(i) = min over active a of (vtime(a) + T * hops)."""
+        fabric = make_fabric(topo=mesh2d(4, 1), T=100.0, mode="exact")
+        fabric.set_active(0, 1000.0)
+        snapshot = fabric.snapshot()
+        assert snapshot["published"][1] == 1100.0
+        assert snapshot["published"][2] == 1200.0
+        assert snapshot["published"][3] == 1300.0
+
+    def test_exact_shadow_two_sources(self):
+        fabric = make_fabric(topo=mesh2d(5, 1), T=10.0, mode="exact")
+        fabric.set_active(0, 0.0)
+        fabric.set_active(4, 100.0)
+        published = fabric.snapshot()["published"]
+        assert published[1] == 10.0
+        assert published[2] == 20.0
+        assert published[3] == 30.0  # min(0+30, 100+10)
+
+    def test_non_connected_sets_problem_solved(self):
+        """Figure 2: idle cores between two active sets propagate time."""
+        fabric = make_fabric(topo=mesh2d(5, 1), T=100.0, mode="exact")
+        fabric.set_active(0, 0.0)
+        fabric.set_active(4, 0.0)
+        fabric.advance(0, 500.0)
+        # Core 4 sees core 3's shadow; with core 0 at 500 and itself at 0,
+        # shadow(3) = min(500+..., 0+100) from core 4's own publication.
+        assert fabric.neighbor_floor(4) <= 100.0 + 100.0
+        # After core 4 advances, the bridge shadows rise accordingly.
+        fabric.advance(4, 400.0)
+        assert fabric.drift_ok(4)
+
+    def test_shadow_disabled_publishes_inf(self):
+        fabric = make_fabric(shadow=False)
+        fabric.set_active(0, 5.0)
+        fabric.set_idle(0)
+        assert math.isinf(fabric.published[0])
+
+    def test_fast_mode_monotone_published(self):
+        fabric = make_fabric(mode="fast", topo=mesh2d(3, 1))
+        fabric.set_active(0, 0.0)
+        fabric.advance(0, 50.0)
+        fabric.set_idle(0)
+        p_after_idle = fabric.published[0]
+        assert p_after_idle >= 50.0
+        fabric.set_active(0, 20.0)  # reactivation in the past
+        assert fabric.published[0] >= p_after_idle  # never regresses
+
+    def test_fast_mode_relaxation_terminates_without_anchor(self):
+        """The mutual-amplification loop between idle cores must not hang."""
+        fabric = make_fabric(mode="fast", topo=mesh2d(4, 1), T=10.0)
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.set_active(2, 0.0)
+        fabric.set_idle(1)
+        fabric.set_idle(2)
+        # Core 0 advancing triggers relaxation into the idle pocket {1, 2}.
+        for t in range(1, 50):
+            fabric.advance(0, float(t * 10))
+        assert fabric.published[1] <= fabric.max_vtime + fabric.T + 1e-9
+
+    def test_refresh_shadows_restores_exact_fixpoint(self):
+        fabric = make_fabric(mode="fast", topo=mesh2d(4, 1), T=100.0)
+        fabric.set_active(0, 1000.0)
+        fabric.refresh_shadows()
+        assert fabric.published[1] == 1100.0
+        assert fabric.published[3] == 1300.0
+
+    def test_global_bound_value(self):
+        fabric = make_fabric(topo=mesh2d(4, 4), T=100.0)
+        assert fabric.global_drift_bound() == 6 * 100.0
+
+
+class TestDriftQuery:
+    def test_drift_value(self):
+        fabric = make_fabric(shadow=False, topo=mesh2d(2, 1))
+        fabric.set_active(0, 0.0)
+        fabric.set_active(1, 0.0)
+        fabric.advance(0, 80.0)
+        assert fabric.drift(0) == pytest.approx(80.0)
+        assert fabric.drift(1) == pytest.approx(-80.0)
+
+    def test_drift_unconstrained_is_minus_inf(self):
+        fabric = make_fabric(shadow=False, topo=mesh2d(2, 1))
+        fabric.set_active(0, 10.0)
+        assert fabric.drift(0) == -INF
+
+
+@given(
+    advances=st.lists(
+        st.tuples(st.integers(0, 3), st.floats(min_value=0.1, max_value=50.0)),
+        min_size=1, max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_exact_shadow_invariant_random_schedules(advances):
+    """Exact shadows always equal min over active of (vtime + T*hops)."""
+    topo = mesh2d(4, 1)
+    fabric = VirtualTimeFabric(topo, drift_bound=10.0, shadow_enabled=True,
+                               shadow_mode="exact")
+    for c in range(2):
+        fabric.set_active(c, 0.0)
+    for cid, delta in advances:
+        cid %= 2
+        fabric.advance(cid, fabric.vtime[cid] + delta)
+    published = fabric.snapshot()["published"]
+    # Independent reference: Bellman-Ford iteration of the local equations
+    # pub(active) = vtime, pub(idle) = min over neighbours of pub + T.
+    ref = [fabric.vtime[c] if fabric.active[c] else INF for c in range(4)]
+    for _ in range(8):
+        for i in range(4):
+            if fabric.active[i]:
+                continue
+            nbrs = [j for j in (i - 1, i + 1) if 0 <= j < 4]
+            ref[i] = min(ref[j] for j in nbrs) + 10.0
+    for idle in (2, 3):
+        assert published[idle] == pytest.approx(ref[idle])

@@ -1,0 +1,224 @@
+"""Unit tests for messages, tasks, contexts, stats and engine edge paths."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import build_machine, dist_mesh, shared_mesh
+from repro.core.actions import (
+    CellAccess,
+    Compute,
+    MemAccess,
+    SendMsg,
+    TrySpawn,
+)
+from repro.core.errors import SimError
+from repro.core.messages import DEFAULT_SIZES, Message, MsgKind
+from repro.core.stats import SimStats
+from repro.core.task import Task, TaskContext, TaskGroup, TaskState
+
+from conftest import fanout_root
+
+
+class TestMessages:
+    def test_every_kind_has_a_size(self):
+        for kind in MsgKind:
+            assert kind in DEFAULT_SIZES
+            assert DEFAULT_SIZES[kind] > 0
+
+    def test_sequence_numbers_monotone(self):
+        a = Message(MsgKind.USER, 0, 1, 0.0, 8)
+        b = Message(MsgKind.USER, 0, 1, 0.0, 8)
+        assert b.seq > a.seq
+
+    def test_repr(self):
+        msg = Message(MsgKind.PROBE, 2, 3, 10.0, 16)
+        assert "probe" in repr(msg)
+        assert "2->3" in repr(msg)
+
+
+class TestActions:
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute(cycles=-1)
+        with pytest.raises(ValueError):
+            Compute(repeat=-1)
+
+    def test_mem_validation(self):
+        with pytest.raises(ValueError):
+            MemAccess(reads=-1)
+        with pytest.raises(ValueError):
+            MemAccess(l1_hit_fraction=1.5)
+
+    def test_cell_mode_validation(self):
+        with pytest.raises(ValueError):
+            CellAccess(cell=object(), mode="x")
+        for mode in ("r", "w", "rw"):
+            CellAccess(cell=object(), mode=mode)
+
+    def test_actions_frozen(self):
+        action = Compute(cycles=5)
+        with pytest.raises(Exception):
+            action.cycles = 10
+
+
+class TestTaskModel:
+    def test_task_ids_unique(self):
+        def fn(ctx):
+            yield
+
+        tasks = [Task(fn) for _ in range(10)]
+        assert len({t.tid for t in tasks}) == 10
+
+    def test_task_initial_state(self):
+        def fn(ctx):
+            yield
+
+        task = Task(fn, birth_time=5.0)
+        assert task.state == TaskState.NEW
+        assert task.birth_time == 5.0
+        assert task.ready_time == 5.0
+        assert task.gen is None
+
+    def test_group_names(self):
+        named = TaskGroup("mine")
+        anon = TaskGroup()
+        assert named.name == "mine"
+        assert anon.name.startswith("group")
+
+    def test_context_action_factories(self, mesh8):
+        captured = {}
+
+        def root(ctx):
+            captured["n_cores"] = ctx.n_cores
+            assert isinstance(ctx.compute(cycles=1), Compute)
+            assert isinstance(ctx.mem(reads=1), MemAccess)
+            assert isinstance(ctx.send(1, payload="x"), SendMsg)
+            spawn = ctx.try_spawn(root, 1, 2, group=None)
+            assert isinstance(spawn, TrySpawn)
+            assert spawn.args == (1, 2)
+            yield ctx.compute(cycles=1)
+            return True
+
+        assert mesh8.run(root)
+        assert captured["n_cores"] == 8
+
+    def test_yield_cpu_is_noop(self, single):
+        def root(ctx):
+            t0 = yield ctx.now()
+            yield ctx.yield_cpu()
+            t1 = yield ctx.now()
+            return t1 - t0
+
+        assert single.run(root) == 0.0
+
+
+class TestStats:
+    def test_as_dict_contains_counters(self, mesh8):
+        mesh8.run(fanout_root(6))
+        flat = mesh8.stats.as_dict()
+        assert flat["tasks_started"] == mesh8.stats.tasks_started
+        assert flat["total_messages"] == mesh8.stats.total_messages
+        assert "msgs_probe" in flat
+        assert "noc_messages" in flat
+
+    def test_fresh_stats_empty(self):
+        stats = SimStats(n_cores=4)
+        assert stats.total_messages == 0
+        assert stats.as_dict()["n_cores"] == 4
+
+
+class TestEngineEdgePaths:
+    def test_unknown_action_rejected(self, mesh8):
+        def root(ctx):
+            yield "not an action"
+
+        with pytest.raises(SimError):
+            mesh8.run(root)
+
+    def test_run_on_non_default_core(self):
+        machine = build_machine(shared_mesh(8))
+        placements = []
+
+        def root(ctx):
+            placements.append(ctx.core_id)
+            yield ctx.compute(cycles=1)
+
+        machine.run(root, root_core=5)
+        assert placements == [5]
+
+    def test_root_args_forwarded(self, mesh8):
+        def root(ctx, a, b):
+            yield ctx.compute(cycles=1)
+            return a + b
+
+        assert mesh8.run(root, 2, 3) == 5
+
+    def test_service_clock_monotone(self, mesh8):
+        mesh8.run(fanout_root(10))
+        for core in mesh8.cores:
+            assert core.service_clock >= 0.0
+
+
+class TestDistMemEdgePaths:
+    def test_forwarded_request_chases_moved_cell(self):
+        """A DATA_REQUEST sent to a stale owner is forwarded onward."""
+        machine = build_machine(dist_mesh(8))
+        memory = machine.memory
+
+        def mover(ctx, cell):
+            yield ctx.cell(cell, "rw")  # pull the cell here
+
+        def root(ctx):
+            cell = memory.new_cell(data=0, home=7)
+            group = TaskGroup()
+            # Two tasks race for the same remote cell: one request will
+            # find the owner moved and must be forwarded.
+            yield from ctx.spawn_or_inline(mover, cell, group=group)
+            yield ctx.cell(cell, "rw")
+            yield ctx.join(group)
+            return cell.moves
+
+        moves = machine.run(root)
+        assert moves >= 2
+
+    def test_release_cell_services_pending(self):
+        machine = build_machine(dist_mesh(4))
+        memory = machine.memory
+        cell = memory.new_cell(data=1, home=0)
+
+        class _FakeTask:
+            core = 1
+            state = None
+
+        from repro.core.task import Task, TaskState
+
+        def dummy(ctx):
+            yield
+
+        task = Task(dummy)
+        task.core = 1
+        task.state = TaskState.SUSPENDED
+        cell.locked_by = object()
+        cell.pending.append((task, 1))
+        machine.fabric.set_active(0, 10.0)
+        memory.release_cell(machine.cores[0], cell)
+        assert cell.owner == 1
+        assert not cell.pending
+
+
+class TestSharedMemCells:
+    def test_mode_variants_cost_same_base(self):
+        machine = build_machine(shared_mesh(2))
+        memory = machine.memory
+        cell = memory.new_cell(data=0)
+        costs = {}
+
+        class _Core:
+            cid = 0
+            speed_factor = 1.0
+
+        for mode in ("r", "w", "rw"):
+            costs[mode] = memory.cell_access(
+                _Core(), None, CellAccess(cell=cell, mode=mode))
+        assert costs["r"] == costs["w"] == costs["rw"]

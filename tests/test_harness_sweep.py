@@ -1,0 +1,104 @@
+"""Tests for the Amdahl fit and the generic parameter-sweep utility."""
+
+import pytest
+
+from repro.arch import shared_mesh
+from repro.harness import metrics
+from repro.harness.sweep import sweep, sweep_csv, sweep_table
+
+
+class TestAmdahlFit:
+    def test_recovers_serial_fraction(self):
+        s_true = 0.2
+        curve = {n: 1.0 / (s_true + (1 - s_true) / n)
+                 for n in (1, 2, 4, 8, 16, 64)}
+        s, rmse = metrics.amdahl_fit(curve)
+        assert s == pytest.approx(s_true, abs=1e-4)
+        assert rmse < 1e-6
+
+    def test_fully_parallel(self):
+        curve = {n: float(n) for n in (1, 2, 4, 8)}
+        s, rmse = metrics.amdahl_fit(curve)
+        assert s == pytest.approx(0.0, abs=1e-4)
+
+    def test_fully_serial(self):
+        curve = {n: 1.0 for n in (1, 2, 4, 8)}
+        s, _ = metrics.amdahl_fit(curve)
+        assert s == pytest.approx(1.0, abs=1e-3)
+
+    def test_superlinear_flagged_by_residual(self):
+        curve = {1: 1.0, 4: 30.0, 16: 200.0}
+        s, rmse = metrics.amdahl_fit(curve)
+        assert rmse > 1.0  # Amdahl cannot explain super-linearity
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            metrics.amdahl_fit({1: 1.0})
+
+    def test_quicksort_serial_fraction_plausible(self):
+        """The measured quicksort curve should fit a serial fraction in
+        the ballpark its critical path predicts (2/log2(n) ~ 0.2)."""
+        import math
+
+        from repro.harness import vt_speedup_curve
+
+        curve = vt_speedup_curve("quicksort", shared_mesh, (1, 4, 16),
+                                 scale="small", seeds=(0,))
+        s, _ = metrics.amdahl_fit(curve)
+        n = 1000
+        predicted = 2 / math.log2(n)
+        assert 0.3 * predicted < s < 4 * predicted
+
+
+class TestSweep:
+    def test_grid_product(self):
+        records = sweep(
+            "octree", shared_mesh(4),
+            {"drift_bound": [50.0, 500.0], "queue_capacity": [2, 4]},
+            scale="tiny",
+        )
+        assert len(records) == 4
+        combos = {(r["drift_bound"], r["queue_capacity"]) for r in records}
+        assert combos == {(50.0, 2), (50.0, 4), (500.0, 2), (500.0, 4)}
+        for record in records:
+            assert record["vtime"] > 0
+
+    def test_stats_metric(self):
+        records = sweep("octree", shared_mesh(4), {"drift_bound": [100.0]},
+                        scale="tiny", metric="drift_stalls")
+        assert "drift_stalls" in records[0]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("octree", shared_mesh(4), {"warp": [1]}, scale="tiny")
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep("octree", shared_mesh(4), {}, scale="tiny")
+
+    def test_table_pivot(self):
+        records = [
+            {"a": 1, "b": 10, "vtime": 100.0},
+            {"a": 1, "b": 20, "vtime": 200.0},
+            {"a": 2, "b": 10, "vtime": 300.0},
+            {"a": 2, "b": 20, "vtime": 400.0},
+        ]
+        out = sweep_table(records, rows="a", cols="b")
+        assert "b=10" in out and "b=20" in out
+        assert "400" in out
+
+    def test_table_missing_cell_nan(self):
+        records = [{"a": 1, "b": 10, "vtime": 1.0},
+                   {"a": 2, "b": 20, "vtime": 2.0}]
+        out = sweep_table(records, rows="a", cols="b")
+        assert "nan" in out
+
+    def test_csv(self):
+        records = [{"a": 1, "vtime": 10.5}]
+        out = sweep_csv(records)
+        assert out.splitlines()[0] == "a,vtime"
+        assert "10.5" in out
+
+    def test_csv_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_csv([])

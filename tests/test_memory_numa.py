@@ -1,0 +1,103 @@
+"""Tests for the NUMA memory organization (distributed banks + coherence)."""
+
+import pytest
+
+from repro.arch import build_machine, dist_mesh, numa_mesh, shared_mesh
+from repro.core.actions import CellAccess, MemAccess
+from repro.memory.numa import NumaMemoryModel, stable_home
+from repro.workloads import BENCHMARKS, get_workload
+
+
+class TestStableHome:
+    def test_deterministic(self):
+        key = ("cc", 42)
+        assert stable_home(key, 64) == stable_home(key, 64)
+
+    def test_in_range(self):
+        for i in range(100):
+            assert 0 <= stable_home(("obj", i), 16) < 16
+
+    def test_spreads_keys(self):
+        homes = {stable_home(("obj", i), 16) for i in range(200)}
+        assert len(homes) > 8  # keys spread over most banks
+
+
+class TestNumaTiming:
+    class _Core:
+        def __init__(self, cid=0, speed=1.0):
+            self.cid = cid
+            self.speed_factor = speed
+
+    def _model(self, n=16):
+        machine = build_machine(numa_mesh(n))
+        return machine.memory, machine
+
+    def test_local_cheaper_than_remote(self):
+        memory, machine = self._model()
+        # Find keys homed at 0 and far away.
+        local_key = next(k for k in (("k", i) for i in range(500))
+                         if stable_home(k, 16) == 0)
+        remote_key = next(k for k in (("k", i) for i in range(500))
+                          if stable_home(k, 16) == 15)
+        local = memory.access(self._Core(0), MemAccess(reads=4, obj=local_key))
+        remote = memory.access(self._Core(0), MemAccess(reads=4, obj=remote_key))
+        assert remote > local
+
+    def test_explicit_bank_overrides_hash(self):
+        memory, _ = self._model()
+        core = self._Core(0)
+        pinned = memory.access(core, MemAccess(reads=1, obj="x", bank=0))
+        far = memory.access(core, MemAccess(reads=1, obj="y", bank=15))
+        assert far > pinned
+
+    def test_l1_hits_bypass_the_network(self):
+        memory, _ = self._model()
+        core = self._Core(0)
+        all_hits = memory.access(
+            core, MemAccess(reads=10, obj=("k", 1), l1_hit_fraction=1.0))
+        assert all_hits <= 10 * memory.l1_latency + 25  # only coherence extra
+
+    def test_counters(self):
+        memory, _ = self._model()
+        memory.access(self._Core(0), MemAccess(reads=1, obj="a", bank=0))
+        memory.access(self._Core(0), MemAccess(reads=1, obj="b", bank=9))
+        assert memory.local_accesses == 1
+        assert memory.remote_accesses == 1
+
+    def test_cells_are_home_pinned(self):
+        memory, machine = self._model(4)
+
+        def root(ctx):
+            cell = memory.new_cell(data=1, home=3)
+            yield ctx.cell(cell, "rw")
+            return cell.owner
+
+        # Unlike the run-time-managed model, ownership never migrates.
+        assert machine.run(root) == 3
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NumaMemoryModel(bank_latency=-1)
+
+
+class TestNumaWorkloads:
+    @pytest.mark.parametrize("name", BENCHMARKS)
+    def test_output_correct(self, name):
+        workload = get_workload(name, scale="tiny", seed=0, memory="numa")
+        machine = build_machine(numa_mesh(9))
+        result = machine.run(workload.root)
+        workload.verify(result["output"])
+
+    def test_numa_between_shared_and_distributed(self):
+        """For the contended benchmark, NUMA sits between the optimistic
+        shared organization (free sharing) and migrating cells (worst)."""
+        vtimes = {}
+        for label, cfg in (("shared", shared_mesh(16)),
+                           ("numa", numa_mesh(16)),
+                           ("distributed", dist_mesh(16))):
+            workload = get_workload("connected_components", scale="small",
+                                    seed=0, memory=cfg.memory)
+            machine = build_machine(cfg)
+            vtimes[label] = machine.run(workload.root)["work_vtime"]
+        assert vtimes["shared"] < vtimes["numa"]
+        assert vtimes["numa"] < vtimes["distributed"] * 1.5

@@ -1,0 +1,95 @@
+"""Unit tests for routing tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.link import LinkSpec
+from repro.network.routing import RoutingTable
+from repro.network.topology import Topology, clustered_mesh, mesh2d, ring
+
+
+class TestRouting:
+    def test_self_route(self):
+        routing = RoutingTable(mesh2d(2, 2))
+        assert routing.path(1, 1) == (1,)
+        assert routing.hop_count(1, 1) == 0
+        assert routing.path_latency(1, 1) == 0.0
+
+    def test_neighbor_route(self):
+        routing = RoutingTable(mesh2d(2, 2))
+        assert routing.path(0, 1) == (0, 1)
+        assert routing.hop_count(0, 1) == 1
+
+    def test_mesh_path_is_shortest(self):
+        topo = mesh2d(4, 4)
+        routing = RoutingTable(topo)
+        for src in range(16):
+            dist = topo.bfs_distances(src)
+            for dst in range(16):
+                assert routing.hop_count(src, dst) == dist[dst]
+
+    def test_path_endpoints(self):
+        routing = RoutingTable(mesh2d(3, 3))
+        path = routing.path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+
+    def test_path_edges_exist(self):
+        topo = mesh2d(3, 3)
+        routing = RoutingTable(topo)
+        path = routing.path(0, 8)
+        for u, v in zip(path, path[1:]):
+            assert topo.has_link(u, v)
+
+    def test_latency_weighted_routing(self):
+        """Routing prefers low-latency detours over direct slow links."""
+        topo = Topology(3)
+        topo.add_link(0, 2, LinkSpec(latency=10.0))
+        topo.add_link(0, 1, LinkSpec(latency=1.0))
+        topo.add_link(1, 2, LinkSpec(latency=1.0))
+        routing = RoutingTable(topo)
+        assert routing.path(0, 2) == (0, 1, 2)
+        assert routing.path_latency(0, 2) == 2.0
+
+    def test_clustered_routes_use_inter_links(self):
+        topo = clustered_mesh(16, 4, intra_latency=0.5, inter_latency=4.0)
+        routing = RoutingTable(topo)
+        # Cores 0 and 15 live in different clusters.
+        latency = routing.path_latency(0, 15)
+        assert latency >= 4.0  # at least one inter-cluster link
+
+    def test_unreachable_raises(self):
+        topo = Topology(3)
+        topo.add_link(0, 1)
+        routing = RoutingTable(topo)
+        with pytest.raises(ValueError):
+            routing.path(0, 2)
+
+    def test_cache_cleared(self):
+        routing = RoutingTable(ring(6))
+        routing.path(0, 3)
+        assert routing._path_cache
+        routing.clear_cache()
+        assert not routing._path_cache
+
+    @given(
+        n=st.integers(min_value=2, max_value=30),
+        pairs=st.lists(
+            st.tuples(st.integers(0, 29), st.integers(0, 29)), min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=30)
+    def test_ring_paths_bounded_by_half(self, n, pairs):
+        routing = RoutingTable(ring(n))
+        for src, dst in pairs:
+            src %= n
+            dst %= n
+            assert routing.hop_count(src, dst) <= n // 2
+
+    @given(n=st.integers(min_value=2, max_value=25))
+    @settings(max_examples=20)
+    def test_symmetric_hop_counts(self, n):
+        routing = RoutingTable(ring(n))
+        for src in range(0, n, max(1, n // 5)):
+            for dst in range(0, n, max(1, n // 5)):
+                assert routing.hop_count(src, dst) == routing.hop_count(dst, src)

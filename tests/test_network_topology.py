@@ -1,0 +1,233 @@
+"""Unit and property tests for interconnect topologies."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.link import LinkSpec
+from repro.network.topology import (
+    Topology,
+    clustered_mesh,
+    crossbar,
+    from_adjacency,
+    mesh2d,
+    ring,
+    square_mesh,
+    to_networkx,
+    torus2d,
+)
+
+
+class TestTopologyBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0)
+
+    def test_self_link_rejected(self):
+        topo = Topology(2)
+        with pytest.raises(ValueError):
+            topo.add_link(0, 0)
+
+    def test_out_of_range_rejected(self):
+        topo = Topology(2)
+        with pytest.raises(ValueError):
+            topo.add_link(0, 2)
+
+    def test_links_are_symmetric(self):
+        topo = Topology(3)
+        topo.add_link(0, 1)
+        assert topo.has_link(1, 0)
+        assert 0 in topo.neighbors(1)
+        assert 1 in topo.neighbors(0)
+
+    def test_link_spec_shared_between_directions(self):
+        topo = Topology(2)
+        spec = LinkSpec(latency=3.0)
+        topo.add_link(0, 1, spec)
+        assert topo.link_spec(0, 1) is topo.link_spec(1, 0)
+
+    def test_missing_link_raises(self):
+        topo = Topology(3)
+        with pytest.raises(KeyError):
+            topo.link_spec(0, 2)
+
+    def test_edge_iteration_counts(self):
+        topo = ring(5)
+        assert topo.n_edges == 5
+        assert len(list(topo.edges())) == 5
+        assert len(list(topo.directed_edges())) == 10
+
+
+class TestMesh:
+    def test_mesh_2x2(self):
+        topo = mesh2d(2, 2)
+        assert topo.n_cores == 4
+        assert topo.n_edges == 4
+
+    def test_mesh_edge_count(self):
+        w, h = 4, 3
+        topo = mesh2d(w, h)
+        assert topo.n_edges == w * (h - 1) + h * (w - 1)
+
+    def test_mesh_interior_degree(self):
+        topo = mesh2d(4, 4)
+        assert topo.degree(5) == 4  # interior node
+        assert topo.degree(0) == 2  # corner
+
+    def test_mesh_diameter(self):
+        assert mesh2d(4, 4).diameter() == 6  # (w-1)+(h-1)
+
+    def test_square_mesh_paper_sizes(self):
+        for n in (8, 64, 256, 1024):
+            topo = square_mesh(n)
+            assert topo.n_cores == n
+            assert topo.is_connected()
+
+    def test_square_mesh_8_is_4x2(self):
+        topo = square_mesh(8)
+        assert topo.diameter() == 4  # 3 + 1
+
+    def test_single_core_mesh(self):
+        topo = square_mesh(1)
+        assert topo.n_cores == 1
+        assert topo.neighbors(0) == ()
+
+
+class TestOtherTopologies:
+    def test_ring_diameter(self):
+        assert ring(8).diameter() == 4
+
+    def test_torus_degree_uniform(self):
+        topo = torus2d(4, 4)
+        assert all(topo.degree(u) == 4 for u in range(16))
+
+    def test_torus_beats_mesh_diameter(self):
+        assert torus2d(6, 6).diameter() < mesh2d(6, 6).diameter()
+
+    def test_crossbar_diameter_one(self):
+        assert crossbar(8).diameter() == 1
+
+    def test_crossbar_edge_count(self):
+        assert crossbar(6).n_edges == 15
+
+
+class TestClustered:
+    def test_paper_parameters(self):
+        topo = clustered_mesh(64, 4)
+        assert topo.n_cores == 64
+        assert topo.is_connected()
+
+    def test_intra_and_inter_latencies(self):
+        topo = clustered_mesh(16, 4, intra_latency=0.5, inter_latency=4.0)
+        latencies = {spec.latency for _, _, spec in topo.edges()}
+        assert latencies == {0.5, 4.0}
+
+    def test_invalid_cluster_split_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_mesh(10, 4)
+
+    def test_eight_clusters(self):
+        topo = clustered_mesh(64, 8)
+        assert topo.is_connected()
+        assert topo.n_cores == 64
+
+
+class TestAdjacency:
+    def test_roundtrip(self):
+        topo = mesh2d(3, 3)
+        rebuilt = from_adjacency(topo.adjacency_matrix().astype(float))
+        assert rebuilt.n_cores == topo.n_cores
+        assert rebuilt.n_edges == topo.n_edges
+        for u in range(topo.n_cores):
+            assert set(rebuilt.neighbors(u)) == set(topo.neighbors(u))
+
+    def test_latency_entries(self):
+        mat = [[0, 2.5], [2.5, 0]]
+        topo = from_adjacency(mat)
+        assert topo.link_spec(0, 1).latency == 2.5
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            from_adjacency([[0, 1], [0, 0]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            from_adjacency([[0, 1, 0], [1, 0, 1]])
+
+    def test_latency_matrix(self):
+        topo = ring(3, latency=2.0)
+        mat = topo.latency_matrix()
+        assert mat[0, 1] == 2.0
+        assert mat[0, 0] == 0.0
+
+
+class TestGraphAlgorithms:
+    def test_bfs_distances_line(self):
+        topo = mesh2d(5, 1)
+        dist = topo.bfs_distances(0)
+        assert list(dist) == [0, 1, 2, 3, 4]
+
+    def test_disconnected_detected(self):
+        topo = Topology(4)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        assert not topo.is_connected()
+        with pytest.raises(ValueError):
+            topo.diameter()
+
+    def test_networkx_export(self):
+        topo = mesh2d(3, 3)
+        graph = to_networkx(topo)
+        assert graph.number_of_nodes() == 9
+        assert graph.number_of_edges() == topo.n_edges
+
+
+@given(
+    width=st.integers(min_value=1, max_value=8),
+    height=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=40)
+def test_mesh_always_connected(width, height):
+    topo = mesh2d(width, height)
+    assert topo.is_connected()
+    if width * height > 1:
+        assert topo.diameter() == (width - 1) + (height - 1)
+
+
+@given(n=st.integers(min_value=2, max_value=64))
+@settings(max_examples=40)
+def test_square_mesh_connected_any_size(n):
+    topo = square_mesh(n)
+    assert topo.n_cores == n
+    assert topo.is_connected()
+
+
+@given(n=st.integers(min_value=1, max_value=40))
+@settings(max_examples=30)
+def test_ring_edge_and_degree_invariants(n):
+    topo = ring(n)
+    if n == 1:
+        assert topo.n_edges == 0
+        return
+    assert all(topo.degree(u) == 2 for u in range(n)) or n == 2
+    assert topo.is_connected()
+
+
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    extra=st.lists(
+        st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=30
+    ),
+)
+@settings(max_examples=40)
+def test_adjacency_roundtrip_random(n, extra):
+    topo = ring(n)
+    for u, v in extra:
+        if u < n and v < n and u != v:
+            topo.add_link(u, v)
+    mat = topo.adjacency_matrix()
+    assert (mat == mat.T).all()
+    rebuilt = from_adjacency(mat.astype(float))
+    assert rebuilt.n_edges == topo.n_edges

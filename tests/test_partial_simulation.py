@@ -1,0 +1,75 @@
+"""Tests for partial simulation (stop_at_vtime) and NoC hotspot analysis."""
+
+import pytest
+
+from repro.arch import build_machine, shared_mesh
+from repro.core.task import TaskGroup
+
+from conftest import fanout_root
+
+
+def long_root(actions=2000, cycles=50.0):
+    def root(ctx):
+        for _ in range(actions):
+            yield ctx.compute(cycles=cycles)
+        return "complete"
+
+    return root
+
+
+class TestStopAtVtime:
+    def test_stops_near_threshold(self):
+        machine = build_machine(shared_mesh(4))
+        result = machine.run(long_root(), stop_at_vtime=10_000.0)
+        assert result is None  # root unfinished
+        assert machine.live_tasks == 1
+        # Stop granularity is one action/slice past the threshold.
+        assert 10_000.0 <= machine.fabric.max_vtime < 10_000.0 + 64 * 50 + 100
+
+    def test_completes_if_threshold_beyond_end(self):
+        machine = build_machine(shared_mesh(4))
+        result = machine.run(long_root(actions=10), stop_at_vtime=1e9)
+        assert result == "complete"
+        assert machine.live_tasks == 0
+
+    def test_stats_reflect_partial_run(self):
+        machine = build_machine(shared_mesh(4))
+        machine.run(long_root(), stop_at_vtime=5_000.0)
+        assert 0 < machine.stats.actions < 2000
+        assert machine.stats.completion_vtime >= 5_000.0
+
+    def test_parallel_workload_stops(self):
+        machine = build_machine(shared_mesh(8))
+        machine.run(fanout_root(16, child_cycles=100_000.0),
+                    stop_at_vtime=50_000.0)
+        assert machine.live_tasks > 0
+
+    def test_no_stop_by_default(self):
+        machine = build_machine(shared_mesh(4))
+        assert machine.run(long_root(actions=5)) == "complete"
+
+
+class TestHotspots:
+    def test_empty_before_traffic(self):
+        machine = build_machine(shared_mesh(4))
+        assert machine.noc.hotspots() == []
+
+    def test_ranked_by_bytes(self):
+        machine = build_machine(shared_mesh(8))
+        machine.run(fanout_root(12, child_cycles=500.0))
+        hot = machine.noc.hotspots(4)
+        assert hot
+        volumes = [entry[2] for entry in hot]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_root_links_hottest(self):
+        """All spawn traffic leaves core 0: its outgoing links dominate."""
+        machine = build_machine(shared_mesh(16))
+        machine.run(fanout_root(20, child_cycles=500.0))
+        top_src = machine.noc.hotspots(2)
+        assert any(entry[0] == 0 for entry in top_src)
+
+    def test_k_limits_results(self):
+        machine = build_machine(shared_mesh(8))
+        machine.run(fanout_root(12))
+        assert len(machine.noc.hotspots(1)) == 1

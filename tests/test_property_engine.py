@@ -1,0 +1,128 @@
+"""Property-based tests of the engine: random task programs must complete,
+produce schedule-independent output, and never deadlock under any policy.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import build_machine, dist_mesh, shared_mesh
+from repro.core.task import TaskGroup
+
+# A program shape: tuples (children per level, compute cycles, mem accesses).
+program_shapes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),   # children spawned
+        st.integers(min_value=0, max_value=500),  # compute cycles
+        st.integers(min_value=0, max_value=10),   # memory accesses
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_program(shape, record):
+    """A deterministic task tree driven by the shape table."""
+
+    def work(ctx, level, index):
+        children, cycles, accesses = shape[min(level, len(shape) - 1)]
+        if cycles:
+            yield ctx.compute(cycles=cycles)
+        if accesses:
+            yield ctx.mem(reads=accesses, obj=("prop", level))
+        record.append((level, index))
+        if level + 1 < len(shape):
+            group = TaskGroup()
+            for k in range(children):
+                yield from ctx.spawn_or_inline(
+                    work, level + 1, index * 4 + k, group=group
+                )
+            yield ctx.join(group)
+        return (level, index)
+
+    def root(ctx):
+        result = yield from work(ctx, 0, 0)
+        t = yield ctx.now()
+        return {"result": result, "t": t}
+
+    return root
+
+
+@given(shape=program_shapes, n_cores=st.sampled_from([1, 4, 9, 16]))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_complete(shape, n_cores):
+    record = []
+    machine = build_machine(shared_mesh(n_cores))
+    result = machine.run(build_program(shape, record))
+    assert result["result"] == (0, 0)
+    assert machine.live_tasks == 0
+    # Work conservation: the executed node multiset is shape-determined.
+    expected_nodes = 1
+    frontier = 1
+    for level in range(1, len(shape)):
+        frontier *= shape[level - 1][0]
+        expected_nodes += frontier
+    assert len(record) == expected_nodes
+
+
+@given(shape=program_shapes)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_output_independent_of_policy(shape):
+    results = []
+    for policy in ("spatial", "conservative", "unbounded"):
+        record = []
+        cfg = dataclasses.replace(shared_mesh(8), sync=policy)
+        machine = build_machine(cfg)
+        machine.run(build_program(shape, record))
+        results.append(sorted(record))
+    assert results[0] == results[1] == results[2]
+
+
+@given(
+    shape=program_shapes,
+    t_bound=st.sampled_from([25.0, 100.0, 1000.0]),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_any_drift_bound_terminates(shape, t_bound):
+    record = []
+    cfg = dataclasses.replace(shared_mesh(9), drift_bound=t_bound)
+    machine = build_machine(cfg)
+    machine.run(build_program(shape, record))
+    assert machine.live_tasks == 0
+
+
+@given(shape=program_shapes)
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_distributed_machine_equivalent_output(shape):
+    rec_shared, rec_dist = [], []
+    build_machine(shared_mesh(8)).run(build_program(shape, rec_shared))
+    build_machine(dist_mesh(8)).run(build_program(shape, rec_dist))
+    assert sorted(rec_shared) == sorted(rec_dist)
+
+
+@given(
+    n_sends=st.integers(min_value=1, max_value=20),
+    sizes=st.lists(st.integers(8, 4096), min_size=1, max_size=20),
+)
+@settings(max_examples=30, deadline=None)
+def test_messaging_program_delivers_everything(n_sends, sizes):
+    """All user messages sent are eventually received, in per-source order."""
+    received = []
+
+    def root(ctx):
+        for i in range(n_sends):
+            size = sizes[i % len(sizes)]
+            yield ctx.send(ctx.core_id, payload=i, size=float(size), tag="seq")
+        for _ in range(n_sends):
+            msg = yield ctx.recv(tag="seq")
+            received.append(msg.payload)
+        return True
+
+    machine = build_machine(shared_mesh(4))
+    assert machine.run(root)
+    assert received == list(range(n_sends))

@@ -1,0 +1,139 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+Model-checks the LRU cache, the coherence directory and the lazy min
+tracker against simple reference models under arbitrary operation
+sequences.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.sync import ActiveMinTracker
+from repro.memory.cache import LruCache
+from repro.memory.coherence import CoherenceModel
+
+KEYS = st.integers(min_value=0, max_value=12)
+CORES = st.integers(min_value=0, max_value=5)
+
+
+class LruMachine(RuleBasedStateMachine):
+    """LruCache vs an ordered-dict reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = LruCache(4, hit_latency=1.0, miss_latency=10.0)
+        self.reference = []  # most recent last
+
+    @rule(key=KEYS)
+    def access(self, key):
+        latency = self.cache.access(key)
+        if key in self.reference:
+            assert latency == 1.0
+            self.reference.remove(key)
+        else:
+            assert latency == 10.0
+        self.reference.append(key)
+        if len(self.reference) > 4:
+            self.reference.pop(0)
+
+    @rule(key=KEYS)
+    def invalidate(self, key):
+        was_resident = key in self.reference
+        assert self.cache.invalidate(key) == was_resident
+        if was_resident:
+            self.reference.remove(key)
+
+    @rule()
+    def flush(self):
+        self.cache.flush()
+        self.reference.clear()
+
+    @invariant()
+    def contents_match(self):
+        assert len(self.cache) == len(self.reference)
+        for key in self.reference:
+            assert self.cache.contains(key)
+
+
+class CoherenceMachine(RuleBasedStateMachine):
+    """CoherenceModel vs a reference writer/sharers directory."""
+
+    def __init__(self):
+        super().__init__()
+        self.model = CoherenceModel(
+            dirty_miss_cycles=20.0,
+            invalidate_base_cycles=10.0,
+            invalidate_per_sharer_cycles=2.0,
+        )
+        self.writer = {}
+        self.sharers = {}
+
+    @rule(core=CORES, obj=KEYS)
+    def read(self, core, obj):
+        penalty = self.model.on_read(core, obj)
+        writer = self.writer.get(obj)
+        if writer is not None and writer != core:
+            assert penalty == 20.0
+            self.writer[obj] = None
+        else:
+            assert penalty == 0.0
+        self.sharers.setdefault(obj, set()).add(core)
+
+    @rule(core=CORES, obj=KEYS)
+    def write(self, core, obj):
+        penalty = self.model.on_write(core, obj)
+        others = self.sharers.get(obj, set()) - {core}
+        writer = self.writer.get(obj)
+        if others or (writer is not None and writer != core):
+            assert penalty == 10.0 + 2.0 * len(others)
+        else:
+            assert penalty == 0.0
+        self.writer[obj] = core
+        self.sharers[obj] = {core}
+
+    @invariant()
+    def penalties_never_negative(self):
+        assert self.model.stats.penalty_cycles >= 0.0
+
+
+class TrackerMachine(RuleBasedStateMachine):
+    """ActiveMinTracker vs a plain dict reference."""
+
+    def __init__(self):
+        super().__init__()
+        self.tracker = ActiveMinTracker(6)
+        self.reference = {}
+
+    @rule(core=CORES, time=st.floats(min_value=0, max_value=1e6,
+                                     allow_nan=False))
+    def update(self, core, time):
+        self.tracker.update(core, time)
+        self.reference[core] = time
+
+    @rule(core=CORES)
+    def remove(self, core):
+        self.tracker.remove(core)
+        self.reference.pop(core, None)
+
+    @invariant()
+    def min_matches(self):
+        expected = min(self.reference.values()) if self.reference else math.inf
+        assert self.tracker.min() == expected
+
+
+TestLruMachine = LruMachine.TestCase
+TestCoherenceMachine = CoherenceMachine.TestCase
+TestTrackerMachine = TrackerMachine.TestCase
+
+for case in (TestLruMachine, TestCoherenceMachine, TestTrackerMachine):
+    case.settings = settings(max_examples=40, stateful_step_count=40,
+                             deadline=None)

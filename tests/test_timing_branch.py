@@ -1,0 +1,98 @@
+"""Unit tests for the branch predictor model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.branch import (
+    DEFAULT_ACCURACY,
+    DEFAULT_PENALTY_CYCLES,
+    BranchPredictorModel,
+)
+
+
+class TestBranchPredictor:
+    def test_paper_defaults(self):
+        model = BranchPredictorModel()
+        assert model.accuracy == 0.90
+        assert model.penalty_cycles == 5.0
+
+    def test_deterministic_given_seed(self):
+        a = BranchPredictorModel(seed=42)
+        b = BranchPredictorModel(seed=42)
+        assert [a.sample(10) for _ in range(20)] == [b.sample(10) for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        a = BranchPredictorModel(seed=1)
+        b = BranchPredictorModel(seed=2)
+        draws_a = [a.sample(100) for _ in range(50)]
+        draws_b = [b.sample(100) for _ in range(50)]
+        assert draws_a != draws_b
+
+    def test_sample_zero_branches_free(self):
+        model = BranchPredictorModel()
+        assert model.sample(0) == 0.0
+        assert model.predictions == 0
+
+    def test_sample_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BranchPredictorModel().sample(-1)
+
+    def test_observed_accuracy_converges(self):
+        model = BranchPredictorModel(accuracy=0.9, seed=7)
+        model.sample(200_000)
+        assert model.observed_accuracy == pytest.approx(0.9, abs=0.01)
+
+    def test_expected_penalty(self):
+        model = BranchPredictorModel(accuracy=0.9, penalty_cycles=5.0)
+        assert model.expected(100) == pytest.approx(0.1 * 5.0 * 100)
+
+    def test_expected_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BranchPredictorModel().expected(-1)
+
+    def test_perfect_predictor_never_pays(self):
+        model = BranchPredictorModel(accuracy=1.0)
+        assert model.sample(10_000) == 0.0
+        assert model.expected(10_000) == 0.0
+
+    def test_hopeless_predictor_always_pays(self):
+        model = BranchPredictorModel(accuracy=0.0, penalty_cycles=5.0)
+        assert model.sample(100) == 500.0
+
+    def test_static_exit_penalty_is_pipeline_flush(self):
+        model = BranchPredictorModel(penalty_cycles=5.0)
+        assert model.static_exit_penalty() == 5.0
+
+    def test_invalid_accuracy_rejected(self):
+        with pytest.raises(ValueError):
+            BranchPredictorModel(accuracy=1.5)
+        with pytest.raises(ValueError):
+            BranchPredictorModel(accuracy=-0.1)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            BranchPredictorModel(penalty_cycles=-1.0)
+
+    def test_reset_stats(self):
+        model = BranchPredictorModel(seed=3)
+        model.sample(1000)
+        model.reset_stats()
+        assert model.predictions == 0
+        assert model.mispredictions == 0
+        assert model.observed_accuracy == 1.0
+
+    @given(
+        count=st.integers(min_value=1, max_value=10_000),
+        accuracy=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50)
+    def test_sample_penalty_bounded(self, count, accuracy):
+        model = BranchPredictorModel(accuracy=accuracy, seed=0)
+        penalty = model.sample(count)
+        assert 0.0 <= penalty <= count * model.penalty_cycles
+
+    @given(count=st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_expected_monotone_in_count(self, count):
+        model = BranchPredictorModel(accuracy=0.9)
+        assert model.expected(count) <= model.expected(count + 1.0)

@@ -1,0 +1,87 @@
+"""Unit tests for the instruction-class cost model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.isa import CostTable, DEFAULT_COSTS, InstrClass, default_cost_table
+
+
+class TestCostTable:
+    def test_default_covers_every_class(self):
+        table = default_cost_table()
+        for klass in InstrClass:
+            assert table.cost_of(klass) >= 0
+
+    def test_int_alu_is_single_cycle(self):
+        assert default_cost_table().cost_of(InstrClass.INT_ALU) == 1.0
+
+    def test_fp_slower_than_int(self):
+        table = default_cost_table()
+        assert table.cost_of(InstrClass.FP_ADD) > table.cost_of(InstrClass.INT_ALU)
+        assert table.cost_of(InstrClass.FP_DIV) > table.cost_of(InstrClass.FP_MUL)
+
+    def test_cost_scales_with_count(self):
+        table = default_cost_table()
+        assert table.cost_of(InstrClass.INT_MUL, 10) == 10 * table.cost_of(
+            InstrClass.INT_MUL
+        )
+
+    def test_fractional_counts_allowed(self):
+        table = default_cost_table()
+        assert table.cost_of(InstrClass.STORE, 0.5) == pytest.approx(0.5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            default_cost_table().cost_of(InstrClass.INT_ALU, -1)
+
+    def test_missing_class_rejected(self):
+        costs = dict(DEFAULT_COSTS)
+        del costs[InstrClass.FP_DIV]
+        with pytest.raises(ValueError):
+            CostTable(costs)
+
+    def test_negative_cost_rejected(self):
+        costs = dict(DEFAULT_COSTS)
+        costs[InstrClass.LOAD] = -1.0
+        with pytest.raises(ValueError):
+            CostTable(costs)
+
+    def test_scaled_multiplies_everything(self):
+        table = default_cost_table().scaled(2.0)
+        for klass in InstrClass:
+            assert table.cost_of(klass) == 2.0 * DEFAULT_COSTS[klass]
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            default_cost_table().scaled(0.0)
+        with pytest.raises(ValueError):
+            default_cost_table().scaled(-1.5)
+
+    def test_with_cost_replaces_one_class(self):
+        table = default_cost_table().with_cost(InstrClass.INT_DIV, 50.0)
+        assert table.cost_of(InstrClass.INT_DIV) == 50.0
+        assert table.cost_of(InstrClass.INT_ALU) == DEFAULT_COSTS[InstrClass.INT_ALU]
+
+    def test_immutable(self):
+        table = default_cost_table()
+        with pytest.raises(Exception):
+            table.costs = {}
+
+    @given(factor=st.floats(min_value=0.01, max_value=100.0))
+    def test_scaling_is_linear(self, factor):
+        base = default_cost_table()
+        scaled = base.scaled(factor)
+        for klass in InstrClass:
+            assert scaled.cost_of(klass) == pytest.approx(
+                factor * base.cost_of(klass)
+            )
+
+    @given(
+        factor_a=st.floats(min_value=0.1, max_value=10.0),
+        factor_b=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_scaling_composes(self, factor_a, factor_b):
+        once = default_cost_table().scaled(factor_a * factor_b)
+        twice = default_cost_table().scaled(factor_a).scaled(factor_b)
+        for klass in InstrClass:
+            assert once.cost_of(klass) == pytest.approx(twice.cost_of(klass))

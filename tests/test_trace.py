@@ -1,0 +1,126 @@
+"""Tests for the execution tracer."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import build_machine, shared_mesh
+from repro.harness.trace import Tracer
+from repro.workloads import get_workload
+
+from conftest import fanout_root
+
+
+def traced_run(n_cores=8, root=None, **cfg_overrides):
+    cfg = shared_mesh(n_cores)
+    if cfg_overrides:
+        cfg = dataclasses.replace(cfg, **cfg_overrides)
+    machine = build_machine(cfg)
+    tracer = Tracer(machine)
+    machine.run(root or fanout_root(8, child_cycles=500))
+    return machine, tracer
+
+
+class TestSpans:
+    def test_spans_recorded(self):
+        _, tracer = traced_run()
+        assert tracer.spans
+        # Root + 8 children, each at least one span.
+        names = {s.task.split("#")[0] for s in tracer.spans}
+        assert "child" in names
+        assert "root" in names
+
+    def test_span_times_ordered(self):
+        _, tracer = traced_run()
+        for span in tracer.spans:
+            assert span.end >= span.start >= 0.0
+
+    def test_spans_disjoint_under_conservative(self):
+        """Virtual-time spans on one core may overlap across idle gaps
+        (clocks restart after idleness), but in *recording order* each
+        span starts at or after the previous one's start on that core,
+        and under spatial sync the overlap stays bounded by the global
+        drift."""
+        machine, tracer = traced_run()
+        by_core = {}
+        for span in tracer.spans:
+            by_core.setdefault(span.core, []).append(span)
+        bound = machine.fabric.global_drift_bound() + 200
+        for spans in by_core.values():
+            for a, b in zip(spans, spans[1:]):
+                # b was recorded after a finished (host order); any virtual
+                # backjump is a clock restart bounded by the drift.
+                assert a.end - b.start <= bound
+
+    def test_workload_traceable(self):
+        workload = get_workload("octree", scale="tiny", seed=0)
+        machine = build_machine(shared_mesh(8))
+        tracer = Tracer(machine)
+        result = machine.run(workload.root)
+        workload.verify(result["output"])
+        assert len(tracer.spans) >= machine.stats.tasks_started
+
+
+class TestStallsAndMessages:
+    def test_messages_recorded(self):
+        _, tracer = traced_run()
+        kinds = {m.kind for m in tracer.messages}
+        assert "probe" in kinds
+        assert "task_spawn" in kinds
+
+    def test_message_arrival_after_send(self):
+        _, tracer = traced_run()
+        for msg in tracer.messages:
+            if msg.src != msg.dst:
+                assert msg.arrival > msg.send_time
+
+    def test_messages_optional(self):
+        machine = build_machine(shared_mesh(4))
+        tracer = Tracer(machine, trace_messages=False)
+        machine.run(fanout_root(4))
+        assert not tracer.messages
+        assert tracer.spans
+
+    def test_stalls_recorded_under_tight_drift(self):
+        from conftest import recursive_root
+
+        _, tracer = traced_run(n_cores=16, root=recursive_root(6),
+                               drift_bound=50.0)
+        assert tracer.stalls
+        for stall in tracer.stalls:
+            assert stall["vtime"] > stall["floor"]
+
+
+class TestAnalysis:
+    def test_utilization_bounds(self):
+        machine, tracer = traced_run()
+        util = tracer.core_utilization()
+        assert set(util) == set(range(machine.n_cores))
+        for value in util.values():
+            assert 0.0 <= value <= 1.0
+        assert util[0] > 0  # root core worked
+
+    def test_export_structure(self):
+        _, tracer = traced_run()
+        data = tracer.export()
+        assert set(data) == {"spans", "stalls", "messages"}
+        assert all("core" in s for s in data["spans"])
+
+    def test_gantt_renders(self):
+        machine, tracer = traced_run()
+        chart = tracer.render_gantt(width=40)
+        assert "core 0" in chart
+        assert "#" in chart
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert all(len(line.split("|")[1]) == 40 for line in lines)
+
+    def test_gantt_empty(self):
+        machine = build_machine(shared_mesh(2))
+        tracer = Tracer(machine)
+        assert "no spans" in tracer.render_gantt()
+
+    def test_gantt_core_filter(self):
+        _, tracer = traced_run()
+        chart = tracer.render_gantt(cores=[0])
+        assert "core 0" in chart
+        assert "core 1" not in chart

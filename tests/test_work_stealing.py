@@ -1,0 +1,143 @@
+"""Tests for the work-stealing runtime extension."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import build_machine, shared_mesh
+from repro.core.messages import MsgKind
+from repro.core.task import TaskGroup
+from repro.workloads import get_workload
+
+from conftest import fanout_root
+
+
+def stealing_machine(n_cores=16, **overrides):
+    cfg = dataclasses.replace(shared_mesh(n_cores), work_stealing=True,
+                              **overrides)
+    return build_machine(cfg)
+
+
+def imbalanced_root(n_tasks=24, actions=400, cycles=20.0):
+    """Root floods its neighbourhood with long many-action tasks: each
+    child spans several scheduling slices, so victims drain slower than
+    the root spawns and their queues build up while distant cores sit
+    idle — the scenario stealing was invented for.  (Short tasks drain
+    within one rotation and the push-only run-time already balances
+    them.)"""
+
+    def child(ctx):
+        for _ in range(actions):
+            yield ctx.compute(cycles=cycles)
+
+    def root(ctx):
+        group = TaskGroup()
+        for _ in range(n_tasks):
+            yield from ctx.spawn_or_inline(child, group=group)
+        yield ctx.join(group)
+        t = yield ctx.now()
+        return t
+
+    return root
+
+
+class TestProtocol:
+    def test_disabled_by_default(self):
+        machine = build_machine(shared_mesh(16))
+        machine.run(imbalanced_root())
+        assert machine.runtime.steals_attempted == 0
+        counts = machine.stats.messages_by_kind
+        assert counts[MsgKind.STEAL_REQUEST] == 0
+
+    def test_steals_happen_when_enabled(self):
+        machine = stealing_machine()
+        machine.run(imbalanced_root())
+        assert machine.runtime.steals_attempted > 0
+        counts = machine.stats.messages_by_kind
+        assert counts[MsgKind.STEAL_REQUEST] == counts[MsgKind.STEAL_REPLY]
+
+    def test_successful_steals_counted(self):
+        machine = stealing_machine()
+        machine.run(imbalanced_root())
+        runtime = machine.runtime
+        assert 0 <= runtime.steals_successful <= runtime.steals_attempted
+
+    def test_no_pending_steals_after_run(self):
+        machine = stealing_machine()
+        machine.run(imbalanced_root())
+        assert not any(machine.runtime._steal_pending)
+
+    def test_output_correct_with_stealing(self):
+        for name in ("quicksort", "octree", "dijkstra"):
+            cfg = dataclasses.replace(shared_mesh(16), work_stealing=True)
+            workload = get_workload(name, scale="tiny", seed=0)
+            machine = build_machine(cfg)
+            result = machine.run(workload.root)
+            workload.verify(result["output"])
+
+    def test_all_tasks_complete(self):
+        machine = stealing_machine()
+        machine.run(imbalanced_root(n_tasks=40))
+        assert machine.live_tasks == 0
+        for core in machine.cores:
+            assert not core.queue
+            assert not core.inbox
+
+
+class TestLoadBalance:
+    def test_stealing_improves_imbalanced_fanout(self):
+        """On a saturated neighbourhood, pulling work outward beats the
+        push-only run-time."""
+        base = build_machine(shared_mesh(16))
+        t_base = base.run(imbalanced_root())
+        thief = stealing_machine()
+        t_steal = thief.run(imbalanced_root())
+        assert t_steal <= t_base * 1.05
+        assert thief.runtime.steals_successful > 0
+
+    def test_stealing_spreads_work(self):
+        base = build_machine(shared_mesh(16))
+        base.run(imbalanced_root())
+        busy_base = sum(1 for b in base.stats.core_busy_cycles.values()
+                        if b > 1000)
+        thief = stealing_machine()
+        thief.run(imbalanced_root())
+        busy_steal = sum(1 for b in thief.stats.core_busy_cycles.values()
+                         if b > 1000)
+        assert busy_steal >= busy_base
+
+    def test_stealing_under_all_policies(self):
+        for sync in ("spatial", "conservative", "quantum"):
+            cfg = dataclasses.replace(shared_mesh(16), work_stealing=True,
+                                      sync=sync)
+            machine = build_machine(cfg)
+            machine.run(imbalanced_root(n_tasks=16))
+            assert machine.live_tasks == 0
+
+
+class TestStealSafety:
+    def test_started_tasks_never_migrate(self):
+        """Only NEW tasks migrate; continuations are core-bound."""
+        placements = []
+
+        def child(ctx, k):
+            placements.append((k, ctx.core_id))
+            yield ctx.compute(cycles=500)
+            # Suspend/resume via join to create a continuation.
+            inner = TaskGroup()
+            yield ctx.join(inner)
+            placements.append((k, ctx.core_id))
+
+        def root(ctx):
+            group = TaskGroup()
+            for k in range(12):
+                yield from ctx.spawn_or_inline(child, k, group=group)
+            yield ctx.join(group)
+
+        machine = stealing_machine()
+        machine.run(root)
+        seen = {}
+        for k, cid in placements:
+            if k in seen:
+                assert seen[k] == cid, "a started task changed cores"
+            seen[k] = cid
