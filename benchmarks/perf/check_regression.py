@@ -1,0 +1,79 @@
+"""Fail when engine throughput regressed against ``BENCH_engine.json``.
+
+Re-runs the perf suite and compares events/sec per benchmark against the
+committed record at the repo root.  A benchmark fails when it is more
+than ``REGRESSION_TOLERANCE`` (25 %) below the recorded value — generous
+because events/sec on shared CI hosts swings easily by double-digit
+percentages; the check is meant to catch order-of-magnitude mistakes
+(an accidentally disabled cache, quadratic scan reintroduced), not 5 %
+drifts.
+
+Exit codes: 0 ok, 1 regression, 2 missing/invalid record.
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"))
+
+from repro.harness.perfbench import (  # noqa: E402
+    BENCH_FILE,
+    REGRESSION_TOLERANCE,
+    load_record,
+    run_suite,
+)
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", default=os.path.join(REPO_ROOT, BENCH_FILE),
+        help="committed benchmark record to compare against")
+    parser.add_argument("--repeat", type=int, default=2,
+                        help="best-of-N fresh measurement (default 2)")
+    parser.add_argument(
+        "--tolerance", type=float, default=REGRESSION_TOLERANCE,
+        help="allowed fractional regression (default %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrunken problem sizes (smoke mode; rates "
+                             "are not comparable to a full-size record)")
+    args = parser.parse_args(argv)
+
+    record = load_record(args.record)
+    if not record or "results" not in record:
+        print(f"error: no benchmark record at {args.record}", file=sys.stderr)
+        return 2
+
+    fresh = run_suite(repeat=args.repeat, quick=args.quick, out=sys.stdout)
+
+    failed = []
+    for name, base in sorted(record["results"].items()):
+        base_rate = base.get("events_per_sec")
+        now = fresh.get(name)
+        if not base_rate or now is None:
+            continue
+        rate = now["events_per_sec"]
+        ratio = rate / base_rate
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSED"
+            failed.append(name)
+        print(f"  {name:34s} {base_rate:>12.0f} -> {rate:>12.0f} ev/s "
+              f"({ratio:5.2f}x)  {status}")
+
+    if failed:
+        print(f"\nregression in: {', '.join(failed)} "
+              f"(>{args.tolerance:.0%} below {os.path.basename(args.record)})",
+              file=sys.stderr)
+        return 1
+    print("\nno regression beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Run the perf suite and rewrite ``BENCH_engine.json`` (repo root).
+
+Equivalent to ``python -m repro bench``; kept as a file runner so the
+suite works without installing the package (CI checks out the repo and
+sets ``PYTHONPATH=src``).
+"""
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src"))
+
+from repro.harness.perfbench import BENCH_FILE, run_and_write  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=BENCH_FILE)
+    parser.add_argument("--baseline", default=None,
+                        help="prior record to compute speedups against")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--only", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    run_and_write(
+        output=args.output,
+        repeat=args.repeat,
+        quick=args.quick,
+        only=args.only,
+        baseline_path=args.baseline,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,6 +101,7 @@ def build_machine(cfg: ArchConfig) -> Machine:
         router_penalty=cfg.router_penalty,
         chunk_bytes=cfg.chunk_bytes,
         model_contention=cfg.model_contention,
+        inbox_heap=cfg.inbox_heap,
         seed=cfg.seed,
     )
     machine.attach_memory(build_memory(cfg))

@@ -64,6 +64,9 @@ class ArchConfig:
     shadow_enabled: bool = True
     shadow_mode: str = "fast"
     sync_kwargs: Dict = field(default_factory=dict)
+    #: Maintain per-core arrival-ordered inbox heaps (False falls back to
+    #: linear earliest-arrival scans; delivery semantics are identical).
+    inbox_heap: bool = True
 
     # Run-time task dispatch: occupancy (paper default) | speed_aware |
     # latency_aware | random (see repro.runtime.dispatch).

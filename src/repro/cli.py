@@ -88,6 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
     pol.add_argument("--cores", type=int, default=64)
     pol.add_argument("--scale", choices=tuple(SCALE_PARAMS), default="small")
     pol.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench", help="run the hot-path perf suite (BENCH_engine.json)")
+    bench.add_argument("--output", default="BENCH_engine.json",
+                       help="where to write the JSON record ('' disables)")
+    bench.add_argument("--baseline", default=None,
+                       help="previous BENCH_engine.json to compute speedups "
+                            "against")
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="best-of-N repetitions per benchmark")
+    bench.add_argument("--quick", action="store_true",
+                       help="shrunk problem sizes (CI smoke mode)")
+    bench.add_argument("--only", default=None,
+                       help="comma-separated subset of benchmark names")
+    bench.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top-20 "
+                            "cumulative hot functions instead of timing")
     return parser
 
 
@@ -226,6 +243,31 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    from .harness import perfbench
+
+    if args.profile:
+        perfbench.profile_suite(quick=args.quick, top=20, out=out)
+        return 0
+    only = tuple(x for x in args.only.split(",") if x) if args.only else None
+    if args.baseline and perfbench.load_record(args.baseline) is None:
+        print(f"warning: baseline {args.baseline} missing or unreadable; "
+              "no speedups will be reported", file=sys.stderr)
+    try:
+        perfbench.run_and_write(
+            output=args.output,
+            repeat=args.repeat,
+            quick=args.quick,
+            only=only,
+            baseline_path=args.baseline,
+            out=out,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_policies(args, out) -> int:
     from .harness import sync_policy_ablation
     from .harness.report import format_table
@@ -263,6 +305,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "policies":
             return _cmd_policies(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
     except BrokenPipeError:  # downstream pager/head closed; not an error
         return 0
     raise SystemExit(2)  # pragma: no cover

@@ -5,16 +5,29 @@ in a dedicated userland thread with non-preemptive scheduling; here each
 core multiplexes a current task (a generator) with a queue of ready tasks
 and an inbox of architectural messages, all driven cooperatively by the
 engine.
+
+The inbox is a FIFO deque (host delivery order) with an optional
+arrival-ordered heap maintained incrementally alongside it.  Policies that
+consume messages in arrival order (the conservative referee) or that track
+per-core event horizons (quantum, bounded slack) enable the heap via
+``track_arrivals``; earliest-message queries then cost O(log n) instead of
+an O(n) scan.  The two structures stay coherent through tombstones: a
+message popped from either side is marked ``consumed`` and lazily purged
+from the other.  The deque's front is never a tombstone, so its truthiness
+(``has_work``) stays exact.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop, heappush
 from typing import Deque, List, Optional, Tuple
 
 from .messages import Message
 from .task import Task
 from ..timing.annotator import BlockAnnotator
+
+_INF = float("inf")
 
 
 class CoreUnit:
@@ -26,6 +39,7 @@ class CoreUnit:
         "locks_held", "user_mailbox", "recv_waiters",
         "last_processed_arrival", "busy_cycles", "service_clock",
         "in_ready", "stalled", "lax_ref", "lax_next_check",
+        "track_arrivals", "_inbox_heap",
     )
 
     def __init__(
@@ -59,6 +73,84 @@ class CoreUnit:
         # LaxP2P bookkeeping (used only under that policy).
         self.lax_ref: Optional[int] = None
         self.lax_next_check = 0.0
+        #: Maintain the arrival-ordered heap alongside the FIFO deque.
+        #: Set by the engine from the sync policy's needs; policies that
+        #: only ever pop host-order (spatial, unbounded) skip the heap
+        #: entirely.
+        self.track_arrivals = False
+        self._inbox_heap: List[Tuple[float, int, Message]] = []
+
+    # -- inbox -----------------------------------------------------------
+    def inbox_push(self, msg: Message) -> None:
+        """Deliver an architectural message to this core."""
+        inbox = self.inbox
+        if self.track_arrivals:
+            heap = self._inbox_heap
+            if heap and not inbox:
+                # All live messages were drained host-order; drop the
+                # tombstones instead of letting them accumulate.
+                heap.clear()
+            heappush(heap, (msg.arrival, msg.seq, msg))
+        inbox.append(msg)
+
+    def inbox_pop_fifo(self) -> Message:
+        """Next message in host delivery order."""
+        inbox = self.inbox
+        msg = inbox.popleft()  # the front is never a tombstone
+        msg.consumed = True
+        while inbox and inbox[0].consumed:
+            inbox.popleft()
+        return msg
+
+    def inbox_pop_earliest(self) -> Message:
+        """Next message in arrival-timestamp order (FIFO among ties).
+
+        Falls back to a linear scan when the heap is disabled — this is
+        the legacy deque path, kept selectable so equivalence between the
+        two implementations stays testable.
+        """
+        inbox = self.inbox
+        if self.track_arrivals:
+            heap = self._inbox_heap
+            while True:
+                _, _, msg = heappop(heap)
+                if not msg.consumed:
+                    break
+            msg.consumed = True
+            if inbox and inbox[0] is msg:
+                inbox.popleft()
+            while inbox and inbox[0].consumed:
+                inbox.popleft()
+            return msg
+        best = 0
+        best_t = inbox[0].arrival
+        for i in range(1, len(inbox)):
+            t = inbox[i].arrival
+            if t < best_t:
+                best = i
+                best_t = t
+        msg = inbox[best]
+        del inbox[best]
+        return msg
+
+    def inbox_peek_earliest(self) -> Optional[Message]:
+        """The earliest-arrival pending message (None when empty)."""
+        if self.track_arrivals:
+            heap = self._inbox_heap
+            while heap:
+                msg = heap[0][2]
+                if msg.consumed:
+                    heappop(heap)
+                    continue
+                return msg
+            return None
+        best = None
+        best_t = _INF
+        for msg in self.inbox:
+            if msg.arrival < best_t:
+                best = msg
+                best_t = msg.arrival
+        return best
 
     def has_work(self) -> bool:
         """True when the core has something to execute right now."""
@@ -71,8 +163,9 @@ class CoreUnit:
     def next_event_time(self) -> float:
         """Earliest pending inbox message arrival (INF when none)."""
         if not self.inbox:
-            return float("inf")
-        return min(m.arrival for m in self.inbox)
+            return _INF
+        msg = self.inbox_peek_earliest()
+        return _INF if msg is None else msg.arrival
 
     def next_start_time(self) -> float:
         """Earliest start/resume time among queued tasks (INF when none).
@@ -80,7 +173,7 @@ class CoreUnit:
         Only meaningful when the core is free: scheduling is
         non-preemptive, so a busy core cannot promise queued work.
         """
-        earliest = float("inf")
+        earliest = _INF
         for task in self.queue:
             t = task.resume_time if task.gen is not None else task.ready_time
             if t < earliest:

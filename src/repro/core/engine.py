@@ -110,6 +110,7 @@ class Machine:
         chunk_bytes: int = 64,
         model_contention: bool = True,
         seed: int = 0,
+        inbox_heap: bool = True,
     ) -> None:
         self.topo = topo
         self.n_cores = topo.n_cores
@@ -181,6 +182,42 @@ class Machine:
         self._stop_at_vtime: Optional[float] = None
         self.root_task: Optional[Task] = None
 
+        # Hot-path dispatch caching: policy capability flags and hooks are
+        # resolved once here instead of per-slice getattr lookups, and the
+        # cores learn whether the policy needs arrival-ordered inbox
+        # queries (which enables their incremental inbox heap).
+        self._ordered_units = bool(getattr(policy, "ordered_units", False))
+        self._ordered_inbox = bool(getattr(policy, "ordered_inbox", False))
+        self._reception_exempt = bool(
+            getattr(policy, "reception_exempt", False))
+        self._on_event_enqueued = getattr(policy, "on_event_enqueued", None)
+        self._fuse_compute = (
+            not self._ordered_units
+            and bool(getattr(policy, "fusible_compute", True))
+        )
+        self._on_core_idle = None  # bound in attach_runtime
+        # Per-core scaled engine overheads (speed factors and params are
+        # fixed for a machine's lifetime; same product, computed once).
+        params = self.params
+        self._msg_cycles = [
+            c.scaled(params.msg_process_cycles) for c in self.cores]
+        self._send_cycles = [
+            c.scaled(params.send_overhead_cycles) for c in self.cores]
+        # For fused computes the per-step policy notification is skipped
+        # when on_advance is the base no-op (spatial, unbounded).
+        self._on_advance_hook = (
+            policy.on_advance
+            if type(policy).on_advance is not SyncPolicy.on_advance
+            else None
+        )
+        track = inbox_heap and (
+            self._ordered_units
+            or self._ordered_inbox
+            or bool(getattr(policy, "uses_event_times", False))
+        )
+        for core in self.cores:
+            core.track_arrivals = track
+
     # -- wiring ---------------------------------------------------------
     def attach_memory(self, memory) -> None:
         """Bind the memory model (shared / NUMA / distributed cells)."""
@@ -191,6 +228,7 @@ class Machine:
         """Bind the task run-time system (spawning, joins, locks)."""
         self.runtime = runtime
         runtime.attach(self)
+        self._on_core_idle = getattr(runtime, "on_core_idle", None)
 
     def register_handler(
         self, kind: MsgKind, handler: Callable[[CoreUnit, Message], None]
@@ -254,6 +292,8 @@ class Machine:
 
     def _on_publish_increase(self, cid: int) -> None:
         """Fabric hook: a core's published time rose; wake stalled neighbours."""
+        if not self._stalled:
+            return
         cores = self.cores
         for j in self._neighbor_cache[cid]:
             core = cores[j]
@@ -332,23 +372,24 @@ class Machine:
         if self.fabric.active[core.cid]:
             self.fabric.set_idle(core.cid)
         self.policy.on_idle(core)
-        hook = getattr(self.runtime, "on_core_idle", None)
+        hook = self._on_core_idle
         if hook is not None:
             hook(core)
 
     def _earliest_unit(self, core: CoreUnit):
-        """The core's earliest executable unit: ('msg', idx, t),
+        """The core's earliest executable unit: ('msg', -1, t),
         ('step', -1, t) or ('start', idx, t); None when no work.
 
         Queued tasks are candidates only while the core is free
-        (non-preemptive scheduling).
+        (non-preemptive scheduling).  The earliest inbox message comes
+        from the core's arrival-ordered heap (O(1) peek), not a scan.
         """
         best = None
         best_t = float("inf")
-        for i, msg in enumerate(core.inbox):
-            if msg.arrival < best_t:
-                best = ("msg", i)
-                best_t = msg.arrival
+        msg = core.inbox_peek_earliest()
+        if msg is not None:
+            best = ("msg", -1)
+            best_t = msg.arrival
         if core.current is not None:
             vt = self.fabric.vtime[core.cid]
             if vt < best_t:
@@ -380,8 +421,7 @@ class Machine:
                 self._mark_stalled(core)
                 return progressed
             if kind == "msg":
-                msg = core.inbox[idx]
-                del core.inbox[idx]
+                msg = core.inbox_pop_earliest()
                 self._process_message(core, msg)
             elif kind == "step":
                 self._step_task(core)
@@ -400,15 +440,15 @@ class Machine:
 
     def _run_slice(self, core: CoreUnit) -> bool:
         """Run one core until it blocks, stalls, idles or exhausts its slice."""
-        params = self.params
-        policy = self.policy
-        if getattr(policy, "ordered_units", False):
+        if self._ordered_units:
             return self._run_ordered_slice(core)
-        budget = params.slice_actions
+        policy = self.policy
+        may_run = policy.may_run
+        budget = self.params.slice_actions
         progressed = False
-        reception_exempt = getattr(policy, "reception_exempt", False)
+        reception_exempt = self._reception_exempt
         while budget > 0:
-            if not policy.may_run(core):
+            if not may_run(core):
                 # Message reception is simulator infrastructure: a spawned
                 # task must reach its destination (discarding the parent's
                 # birth date) even while the destination is drift-stalled,
@@ -433,8 +473,7 @@ class Machine:
                 progressed = True
                 continue
             if core.current is not None:
-                self._step_task(core)
-                budget -= 1
+                budget -= self._step_task(core, budget)
                 progressed = True
                 continue
             if core.queue:
@@ -446,7 +485,7 @@ class Machine:
                 continue
             break  # no work left
         if core.has_work():
-            if policy.may_run(core) or (reception_exempt and core.inbox):
+            if may_run(core) or (reception_exempt and core.inbox):
                 self._make_ready(core)
             else:
                 self._mark_stalled(core)
@@ -461,13 +500,9 @@ class Machine:
     def _pop_inbox(self, core: CoreUnit) -> Message:
         """Next inbox message: host order normally, earliest-arrival order
         under strictly ordered policies (the conservative referee)."""
-        if getattr(self.policy, "ordered_inbox", False) and len(core.inbox) > 1:
-            best = min(range(len(core.inbox)),
-                       key=lambda i: core.inbox[i].arrival)
-            msg = core.inbox[best]
-            del core.inbox[best]
-            return msg
-        return core.inbox.popleft()
+        if self._ordered_inbox and len(core.inbox) > 1:
+            return core.inbox_pop_earliest()
+        return core.inbox_pop_fifo()
 
     # -- time helpers ------------------------------------------------------
     def advance_by(self, core: CoreUnit, cycles: float) -> None:
@@ -478,19 +513,48 @@ class Machine:
             return
         self.fabric.advance(core.cid, self.fabric.vtime[core.cid] + cycles)
         core.busy_cycles += cycles
-        self.policy.on_advance(core)
+        hook = self._on_advance_hook
+        if hook is not None:
+            hook(core)
 
     def advance_to(self, core: CoreUnit, t: float) -> None:
         """Advance a core's virtual time to ``t`` if in its future (waiting)."""
         if t > self.fabric.vtime[core.cid]:
             self.fabric.advance(core.cid, t)
-            self.policy.on_advance(core)
+            hook = self._on_advance_hook
+            if hook is not None:
+                hook(core)
 
     def now(self, core: CoreUnit) -> float:
         """The core's current virtual time."""
         return self.fabric.vtime[core.cid]
 
     # -- messaging -----------------------------------------------------------
+    def _emit(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        t0: float,
+        payload: Any,
+        size: Optional[float],
+        tag: Optional[object],
+    ) -> Message:
+        """Shared emission tail: build the message, let the NoC assign its
+        arrival, deliver it and wake the destination."""
+        if size is None:
+            size = DEFAULT_SIZES[kind]
+        msg = Message(kind, src, dst, t0, size, payload=payload, tag=tag)
+        msg.arrival = self.noc.delivery_time(src, dst, size, t0)
+        self.stats.messages_by_kind[kind] += 1
+        dest = self.cores[dst]
+        dest.inbox_push(msg)
+        hook = self._on_event_enqueued
+        if hook is not None:
+            hook(dest)
+        self._make_ready(dest)
+        return msg
+
     def send_message(
         self,
         kind: MsgKind,
@@ -501,19 +565,8 @@ class Machine:
         tag: Optional[object] = None,
     ) -> Message:
         """Emit an architectural message; timestamps come from the NoC."""
-        t0 = self.fabric.vtime[src]
-        if size is None:
-            size = DEFAULT_SIZES[kind]
-        msg = Message(kind, src, dst, t0, size, payload=payload, tag=tag)
-        msg.arrival = self.noc.delivery_time(src, dst, size, t0)
-        self.stats.messages_by_kind[kind] += 1
-        dest = self.cores[dst]
-        dest.inbox.append(msg)
-        hook = getattr(self.policy, "on_event_enqueued", None)
-        if hook is not None:
-            hook(dest)
-        self._make_ready(dest)
-        return msg
+        return self._emit(
+            kind, src, dst, self.fabric.vtime[src], payload, size, tag)
 
     def send_with_overhead(
         self,
@@ -525,7 +578,7 @@ class Machine:
         tag: Optional[object] = None,
     ) -> Message:
         """Charge the sender's overhead, then emit."""
-        self.advance_by(core, core.scaled(self.params.send_overhead_cycles))
+        self.advance_by(core, self._send_cycles[core.cid])
         return self.send_message(kind, core.cid, dst, payload, size, tag)
 
     def _process_message(self, core: CoreUnit, msg: Message) -> None:
@@ -540,7 +593,7 @@ class Machine:
             self.stats.out_of_order_msgs += 1
         core.last_processed_arrival = msg.arrival
         service = max(msg.arrival, core.service_clock)
-        service += core.scaled(self.params.msg_process_cycles)
+        service += self._msg_cycles[core.cid]
         core.service_clock = service
         self._svc_time = service
         handler = self._handlers.get(msg.kind)
@@ -549,7 +602,9 @@ class Machine:
         handler(core, msg)
         # Servicing consumed this message: refresh the policy's view of the
         # core's event horizon (its next pending event moved forward).
-        self.policy.on_advance(core)
+        hook = self._on_advance_hook
+        if hook is not None:
+            hook(core)
 
     def service_now(self, core: CoreUnit) -> float:
         """Virtual completion time of the message currently being serviced."""
@@ -566,19 +621,8 @@ class Machine:
         tag: Optional[object] = None,
     ) -> Message:
         """Emit a message from a core's run-time at an explicit send time."""
-        t0 += core.scaled(self.params.send_overhead_cycles)
-        if size is None:
-            size = DEFAULT_SIZES[kind]
-        msg = Message(kind, core.cid, dst, t0, size, payload=payload, tag=tag)
-        msg.arrival = self.noc.delivery_time(core.cid, dst, size, t0)
-        self.stats.messages_by_kind[kind] += 1
-        dest = self.cores[dst]
-        dest.inbox.append(msg)
-        hook = getattr(self.policy, "on_event_enqueued", None)
-        if hook is not None:
-            hook(dest)
-        self._make_ready(dest)
-        return msg
+        t0 += self._send_cycles[core.cid]
+        return self._emit(kind, core.cid, dst, t0, payload, size, tag)
 
     def send_service_message(
         self,
@@ -631,7 +675,7 @@ class Machine:
         task.waiting_on = None
         core = self.cores[task.core]
         core.queue.append(task)
-        hook = getattr(self.policy, "on_event_enqueued", None)
+        hook = self._on_event_enqueued
         if hook is not None:
             hook(core)
         self._make_ready(core)
@@ -645,7 +689,9 @@ class Machine:
         task.waiting_on = reason
         core.current = None
         # The core's horizon no longer includes the task's clock.
-        self.policy.on_advance(core)
+        hook = self._on_advance_hook
+        if hook is not None:
+            hook(core)
         return task
 
     def _start_or_resume(self, core: CoreUnit, task: Task) -> None:
@@ -679,18 +725,33 @@ class Machine:
             raise SimError(f"cannot start task in state {task.state}")
         # A start/resume changes the core's horizon even when no cycles
         # were charged (e.g. a past-dated resume): refresh the policy.
-        self.policy.on_advance(core)
+        hook = self._on_advance_hook
+        if hook is not None:
+            hook(core)
 
-    def _step_task(self, core: CoreUnit) -> None:
+    def _step_task(self, core: CoreUnit, budget: int = 1) -> int:
+        """Execute the current task's next action(s); return actions consumed.
+
+        Runs of consecutive pure-compute actions are fused: their costs
+        accumulate (with the exact same per-action float arithmetic as
+        individual advances) and are charged through a single fabric
+        advance, skipping the per-action publish/relax machinery whose
+        intermediate states are unobservable — nothing else executes
+        between two actions of one host slice.  Fusion never exceeds
+        ``budget``, so slice accounting is unchanged.
+        """
         task = core.current
+        gen = task.gen
         value = task.resume_value
         task.resume_value = None
+        stats = self.stats
+        max_actions = self.params.max_host_actions
         try:
-            action = task.gen.send(value)
+            action = gen.send(value)
         except StopIteration as stop:
             task.result = stop.value
             self._finish_task(core, task)
-            return
+            return 1
         except SimError:
             raise
         except Exception as exc:
@@ -701,14 +762,85 @@ class Machine:
                 task=task, core=core.cid,
                 vtime=self.fabric.vtime[core.cid],
             ) from exc
-        self.stats.actions += 1
-        if self.params.max_host_actions is not None:
-            if self.stats.actions > self.params.max_host_actions:
-                raise SimError("max_host_actions exceeded (runaway simulation?)")
+        stats.actions += 1
+        if max_actions is not None and stats.actions > max_actions:
+            raise SimError("max_host_actions exceeded (runaway simulation?)")
+        consumed = 1
+        if budget > 1 and self._fuse_compute and type(action) is Compute:
+            # Fused run.  Per-action semantics are replicated exactly:
+            # the core's vtime is written directly (so the policy's
+            # may_run and on_advance see each step, as they would after
+            # an individual advance) but the publish/notify/relax tail
+            # is deferred to one fabric.commit — its intermediate states
+            # are unobservable because nothing else executes between two
+            # actions of the same host slice (the inbox is provably
+            # empty here: _run_slice drains it before stepping, and
+            # pure computes deliver nothing).
+            fabric = self.fabric
+            vtimes = fabric.vtime
+            cid = core.cid
+            may_run = self.policy.may_run
+            on_adv = self._on_advance_hook
+            charged = False
+            finished = False
+            pending = None
+            while True:
+                cost = self._compute_cost(core, action)
+                stats.compute_actions += 1
+                if cost < 0:
+                    raise SimError("cannot advance by negative cycles")
+                if cost > 0:
+                    vtimes[cid] = vtimes[cid] + cost
+                    core.busy_cycles += cost
+                    charged = True
+                    if on_adv is not None:
+                        on_adv(core)
+                # Stop before pulling an action the unfused loop would not
+                # have reached: budget exhausted or drift check fails (the
+                # outer loop then re-checks and stalls, exactly as before).
+                if consumed >= budget or not may_run(core):
+                    break
+                try:
+                    action = gen.send(None)
+                except StopIteration as stop:
+                    task.result = stop.value
+                    finished = True
+                    break
+                except SimError:
+                    raise
+                except Exception as exc:
+                    if charged:
+                        fabric.commit(cid)
+                    raise TaskError(
+                        f"simulated task {task!r} raised "
+                        f"{type(exc).__name__} on core {core.cid} at vtime "
+                        f"{vtimes[cid]:.1f}: {exc}",
+                        task=task, core=core.cid, vtime=vtimes[cid],
+                    ) from exc
+                stats.actions += 1
+                if max_actions is not None and stats.actions > max_actions:
+                    raise SimError(
+                        "max_host_actions exceeded (runaway simulation?)")
+                consumed += 1
+                if type(action) is not Compute:
+                    pending = action
+                    break
+            if charged:
+                fabric.commit(cid)
+            if finished:
+                self._finish_task(core, task)
+            elif pending is not None:
+                handler = self._action_handlers.get(type(pending))
+                if handler is None:
+                    raise SimError(
+                        f"task yielded unknown action {pending!r}")
+                handler(core, task, pending)
+            return consumed
         handler = self._action_handlers.get(type(action))
         if handler is None:
             raise SimError(f"task yielded unknown action {action!r}")
         handler(core, task, action)
+        return consumed
 
     def _finish_task(self, core: CoreUnit, task: Task) -> None:
         task.state = TaskState.DONE
@@ -720,7 +852,8 @@ class Machine:
         self.runtime.on_task_finished(core, task)
 
     # -- action handlers -----------------------------------------------------
-    def _do_compute(self, core: CoreUnit, task: Task, action: Compute) -> None:
+    def _compute_cost(self, core: CoreUnit, action: Compute) -> float:
+        """Cycle cost of one compute action on a core."""
         params = self.params
         cost = core.scaled(action.cycles) * action.repeat
         if action.block is not None:
@@ -728,7 +861,10 @@ class Machine:
         cost *= params.compute_overhead_factor
         if params.icache_block_cycles:
             cost += core.scaled(params.icache_block_cycles)
-        self.advance_by(core, cost)
+        return cost
+
+    def _do_compute(self, core: CoreUnit, task: Task, action: Compute) -> None:
+        self.advance_by(core, self._compute_cost(core, action))
         self.stats.compute_actions += 1
 
     def _do_mem(self, core: CoreUnit, task: Task, action: MemAccess) -> None:
@@ -787,11 +923,19 @@ class Machine:
     # -- diagnostics -----------------------------------------------------
     def describe(self) -> str:
         """Human-readable summary of the machine configuration and state."""
+        policy = self.policy
+        if policy.name == "spatial":
+            bound = f" (T={self.fabric.T:g})"
+        elif hasattr(policy, "quantum"):
+            bound = f" (quantum={policy.quantum:g})"
+        elif hasattr(policy, "slack"):
+            # Bounded-slack and LaxP2P both bound drift by a slack value.
+            bound = f" (slack={policy.slack:g})"
+        else:
+            bound = ""
         lines = [
             f"Machine: {self.n_cores} cores on {self.topo.name}",
-            f"  sync policy     : {self.policy.name}"
-            + (f" (T={self.fabric.T:g})" if self.policy.name == "spatial"
-               else ""),
+            f"  sync policy     : {self.policy.name}" + bound,
             f"  memory model    : {type(self.memory).__name__}",
             f"  shadow time     : "
             f"{'on (' + self.fabric.shadow_mode + ')' if self.fabric.shadow_enabled else 'off'}",

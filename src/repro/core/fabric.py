@@ -36,6 +36,8 @@ import heapq
 import math
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from ..network.topology import Topology
 
 INF = math.inf
@@ -72,8 +74,22 @@ class VirtualTimeFabric:
         self._births: List[Dict[float, int]] = [dict() for _ in range(n)]
         self._births_min: List[float] = [INF] * n
         self._dirty = True  # shadows need a full recompute
+        self._exact = shadow_enabled and shadow_mode == "exact"
         self.max_vtime = 0.0
         self.shadow_recomputes = 0
+        # CSR adjacency for the vectorized shadow fixpoint (built lazily
+        # on the first full recompute; tiny or degenerate topologies keep
+        # the heap-based path).
+        self._csr_indices: Optional[np.ndarray] = None
+        self._csr_offsets: Optional[np.ndarray] = None
+        self._min_degree = min(
+            (len(nbrs) for nbrs in self._neighbors), default=0)
+        # Number of idle neighbours per core (all cores start idle).
+        # Relaxation waves from an advance can only act on idle
+        # neighbours, so advances gate the wave on this counter — on a
+        # busy machine most advances then skip the wave entirely.
+        self._idle_nbr_count: List[int] = [
+            len(nbrs) for nbrs in self._neighbors]
 
     # -- core state transitions ------------------------------------------
     def set_active(self, cid: int, start_time: float) -> None:
@@ -81,6 +97,9 @@ class VirtualTimeFabric:
         if self.active[cid]:
             raise RuntimeError(f"core {cid} already active")
         self.active[cid] = True
+        counts = self._idle_nbr_count
+        for j in self._neighbors[cid]:
+            counts[j] -= 1
         self.vtime[cid] = start_time
         if start_time > self.max_vtime:
             self.max_vtime = start_time
@@ -101,6 +120,9 @@ class VirtualTimeFabric:
         if not self.active[cid]:
             raise RuntimeError(f"core {cid} already idle")
         self.active[cid] = False
+        counts = self._idle_nbr_count
+        for j in self._neighbors[cid]:
+            counts[j] += 1
         if not self.shadow_enabled:
             self.published[cid] = INF
             self._notify(cid)
@@ -129,12 +151,28 @@ class VirtualTimeFabric:
         if new_time > self.published[cid]:
             self.published[cid] = new_time
             self._notify(cid)
-            if self.shadow_enabled:
+            # The wave can only raise idle neighbours; skip it when the
+            # whole neighbourhood is busy (the common case mid-run).
+            if self.shadow_enabled and self._idle_nbr_count[cid]:
                 self._relax_up(cid)
-            if self.shadow_mode == "exact":
-                # Active increases keep the exact fixpoint valid only if no
-                # transition is pending; relaxation handles the rest.
-                pass
+
+    def commit(self, cid: int) -> None:
+        """Publish a virtual time the engine accumulated with direct
+        ``vtime[cid]`` writes (the fused-compute fast path).
+
+        Between two actions of one host slice nothing else executes, so
+        per-action publish/notify/relax states are unobservable; the
+        engine writes ``vtime`` step-wise and commits once.  This is the
+        publish tail of :meth:`advance`.
+        """
+        vt = self.vtime[cid]
+        if vt > self.max_vtime:
+            self.max_vtime = vt
+        if vt > self.published[cid]:
+            self.published[cid] = vt
+            self._notify(cid)
+            if self.shadow_enabled and self._idle_nbr_count[cid]:
+                self._relax_up(cid)
 
     # -- spawn birth ledger -------------------------------------------------
     def add_birth(self, cid: int, timestamp: float) -> None:
@@ -164,14 +202,14 @@ class VirtualTimeFabric:
     # -- drift checks ---------------------------------------------------------
     def neighbor_floor(self, cid: int) -> float:
         """Most-late neighbour time as seen through proxies (may be INF)."""
-        if self._dirty and self.shadow_enabled and self.shadow_mode == "exact":
+        if self._dirty and self._exact:
             self._full_recompute()
         nbrs = self._neighbors[cid]
         if not nbrs:
             return INF
-        pub = self.published
-        floor = min(pub[j] for j in nbrs)
-        return floor
+        # min over a map of the C-level list getter: measurably faster
+        # than a generator expression on this hot path (every drift check).
+        return min(map(self.published.__getitem__, nbrs))
 
     def floor(self, cid: int) -> float:
         """Drift floor: most-late neighbour or pending spawn birth."""
@@ -180,10 +218,24 @@ class VirtualTimeFabric:
         return births if births < floor else floor
 
     def drift_ok(self, cid: int) -> bool:
-        """True when the core may keep executing under the drift rule."""
+        """True when the core may keep executing under the drift rule.
+
+        This is the innermost check of every scheduling decision under
+        spatial sync, so ``floor``/``neighbor_floor`` are inlined here.
+        """
         if not self.active[cid]:
             return True
-        return self.vtime[cid] <= self.floor(cid) + self.T + 1e-9
+        if self._dirty and self._exact:
+            self._full_recompute()
+        nbrs = self._neighbors[cid]
+        if nbrs:
+            floor = min(map(self.published.__getitem__, nbrs))
+        else:
+            floor = INF
+        births = self._births_min[cid]
+        if births < floor:
+            floor = births
+        return self.vtime[cid] <= floor + self.T + 1e-9
 
     def drift(self, cid: int) -> float:
         """Current drift of a core over its floor (negative = behind)."""
@@ -223,7 +275,7 @@ class VirtualTimeFabric:
         # clamp keeps mutual relaxation between idle cores from climbing
         # without bound when no active anchor is in sight.
         ceiling = self.max_vtime + self.T
-        cand = min(min(pub[j] for j in nbrs) + self.T, ceiling)
+        cand = min(min(map(pub.__getitem__, nbrs)) + self.T, ceiling)
         if cand > pub[cid]:
             pub[cid] = cand
             self._notify(cid)
@@ -234,30 +286,81 @@ class VirtualTimeFabric:
         pub = self.published
         active = self.active
         neighbors = self._neighbors
+        getter = pub.__getitem__
+        notify = self.on_publish_increase
         T = self.T
         ceiling = self.max_vtime + T
         stack = [cid]
         while stack:
             x = stack.pop()
-            px = pub[x]
+            limit = pub[x] + T
             for j in neighbors[x]:
                 if active[j]:
                     continue
                 # The candidate is min over j's neighbours + T <= px + T,
                 # so if j already publishes >= px + T nothing can rise:
                 # skip the inner min entirely (hot path at 1024 cores).
-                if pub[j] >= px + T:
+                if pub[j] >= limit:
                     continue
-                cand = min(min(pub[k] for k in neighbors[j]) + T, ceiling)
+                cand = min(map(getter, neighbors[j]))
+                cand = cand + T
+                if cand > ceiling:
+                    cand = ceiling
                 if cand > pub[j]:
                     pub[j] = cand
-                    self._notify(j)
+                    if notify is not None:
+                        notify(j)
                     stack.append(j)
 
     def _full_recompute(self) -> None:
-        """Exact shadow fixpoint: multi-source Dijkstra from active cores."""
+        """Exact shadow fixpoint: ``min over active cores a of
+        (vtime(a) + T * hops(i, a))`` for every idle core ``i``.
+
+        Large regular topologies use a vectorized Bellman-Ford-style
+        min-relaxation over a CSR adjacency (``np.minimum.reduceat``):
+        every hop adds ``T`` with the same left-to-right float
+        accumulation as the heap-based Dijkstra, so both paths produce
+        bit-identical fixpoints.  Small or degenerate (isolated-core)
+        topologies keep the heap path, where the O(E log V) constant
+        beats vectorization overheads.
+        """
         self.shadow_recomputes += 1
         self._dirty = False
+        if self.n_cores < 64 or self._min_degree == 0:
+            self._full_recompute_heap()
+            return
+        if self._csr_indices is None:
+            indices: List[int] = []
+            offsets: List[int] = [0]
+            for nbrs in self._neighbors:
+                indices.extend(nbrs)
+                offsets.append(len(indices))
+            self._csr_indices = np.asarray(indices, dtype=np.intp)
+            self._csr_offsets = np.asarray(offsets[:-1], dtype=np.intp)
+        active = np.asarray(self.active, dtype=bool)
+        vtime = np.asarray(self.vtime, dtype=np.float64)
+        pub = np.where(active, vtime, INF)
+        indices = self._csr_indices
+        offsets = self._csr_offsets
+        T = self.T
+        # Fixpoint in at most eccentricity+1 sweeps; each sweep gathers
+        # every core's neighbour minimum in one reduceat.
+        for _ in range(self.n_cores + 1):
+            cand = np.minimum.reduceat(pub[indices], offsets) + T
+            new = np.where(active, pub, np.minimum(pub, cand))
+            if np.array_equal(new, pub):
+                break
+            pub = new
+        result = pub.tolist()
+        old = self.published
+        self.published = result
+        if self.on_publish_increase is not None:
+            for c in range(self.n_cores):
+                if result[c] != old[c]:
+                    self._notify(c)
+
+    def _full_recompute_heap(self) -> None:
+        """Heap-based exact fixpoint (multi-source Dijkstra)."""
         n = self.n_cores
         pub = [INF] * n
         heap: List[tuple] = []

@@ -19,6 +19,11 @@ from typing import Any, Optional
 class MsgKind(enum.Enum):
     """Architectural message kinds of the run-time protocol (Section IV)."""
 
+    # Enum.__hash__ hashes the member name string on every dict lookup;
+    # kinds key several per-message dicts (sizes, handlers, counters), so
+    # use identity hashing (consistent with Enum's identity equality).
+    __hash__ = object.__hash__
+
     PROBE = "probe"                  # reservation request for a task slot
     PROBE_ACK = "probe_ack"          # reservation accepted
     PROBE_NACK = "probe_nack"        # reservation denied
@@ -56,14 +61,16 @@ DEFAULT_SIZES = {
 _msg_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One architectural message.
 
     ``send_time`` is the sender's virtual time at emission; ``arrival`` the
     virtual time at which the destination may process it (assigned by the
     NoC, including link latencies, serialization and contention).  ``seq``
-    is a host-side sequence number recording emission order.
+    is a host-side sequence number recording emission order.  ``consumed``
+    marks a message popped from one side of the core's dual inbox
+    (FIFO deque + arrival heap) so the other side can purge it lazily.
     """
 
     kind: MsgKind
@@ -74,7 +81,8 @@ class Message:
     payload: Any = None
     tag: Optional[object] = None
     arrival: float = 0.0
-    seq: int = field(default_factory=lambda: next(_msg_counter))
+    seq: int = field(default_factory=_msg_counter.__next__)
+    consumed: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -81,6 +81,15 @@ class SyncPolicy:
     #: Whether the engine must select each core's earliest unit (message /
     #: task step / task start) and gate it via may_run_unit.
     ordered_units = False
+    #: Whether the policy queries per-core event horizons
+    #: (``CoreUnit.next_event_time``); the engine then maintains the
+    #: arrival-ordered inbox heap so those queries are O(1).
+    uses_event_times = False
+    #: Whether the engine may fuse runs of consecutive pure-compute
+    #: actions into one fabric advance.  Policies whose ``on_advance``
+    #: consumes hidden state per advance (LaxP2P's RNG referee draws)
+    #: must keep per-action advances to stay deterministic.
+    fusible_compute = True
 
     def attach(self, machine: "Machine") -> None:
         self.machine = machine
@@ -125,9 +134,24 @@ class SpatialSync(SyncPolicy):
     def may_run(self, core: CoreUnit) -> bool:
         machine = self.machine
         fabric = machine.fabric
-        if not fabric.active[core.cid]:
-            return True  # activation is always allowed
-        if fabric.drift_ok(core.cid):
+        cid = core.cid
+        # Inlined fabric.drift_ok: this is the single hottest call under
+        # spatial sync (once per scheduler-loop iteration per core), and
+        # the extra call level is measurable.  drift_ok returns True for
+        # idle cores, so the activation case needs no separate check.
+        if not fabric.active[cid]:
+            return True
+        if fabric._dirty and fabric._exact:
+            fabric._full_recompute()
+        nbrs = fabric._neighbors[cid]
+        if nbrs:
+            floor = min(map(fabric.published.__getitem__, nbrs))
+        else:
+            floor = INF
+        births = fabric._births_min[cid]
+        if births < floor:
+            floor = births
+        if fabric.vtime[cid] <= floor + fabric.T + 1e-9:
             return True
         if core.locks_held > 0:
             machine.stats.lock_waiver_runs += 1
@@ -149,6 +173,8 @@ class EventAnchoredPolicy(SyncPolicy):
     follows each core's event time: its virtual time while active, its
     earliest pending message arrival while idle.
     """
+
+    uses_event_times = True
 
     def attach(self, machine: "Machine") -> None:
         super().attach(machine)
@@ -304,6 +330,9 @@ class LaxP2PSync(SyncPolicy):
 
     name = "laxp2p"
     needs_global_recheck = True
+    # Referee draws happen in on_advance: fusing computes would skip
+    # draws and desynchronize the deterministic RNG stream.
+    fusible_compute = False
 
     def __init__(
         self, slack: float = 100.0, check_period: float = 100.0, seed: int = 0

@@ -33,7 +33,7 @@ class LinkSpec:
             raise ValueError("link bandwidth must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
     """Run-time state of one directed link.
 
@@ -48,15 +48,24 @@ class Link:
     messages: int = field(default=0)
     bytes_carried: float = field(default=0.0)
     contention_cycles: float = field(default=0.0)
+    #: Serialization times by message size: the protocol uses a handful
+    #: of fixed sizes, so every traversal after the first is a dict hit.
+    _ser_cache: dict = field(default_factory=dict, repr=False)
 
     def serialization_time(self, size_bytes: float) -> float:
         """Cycles to push ``size_bytes`` through this link, chunk-quantized."""
+        cached = self._ser_cache.get(size_bytes)
+        if cached is not None:
+            return cached
         if size_bytes < 0:
             raise ValueError("message size must be non-negative")
         if size_bytes == 0:
-            return 0.0
-        chunks = max(1, math.ceil(size_bytes / self.chunk_bytes))
-        return chunks * (self.chunk_bytes / self.spec.bandwidth)
+            result = 0.0
+        else:
+            chunks = max(1, math.ceil(size_bytes / self.chunk_bytes))
+            result = chunks * (self.chunk_bytes / self.spec.bandwidth)
+        self._ser_cache[size_bytes] = result
+        return result
 
     def traverse(self, ready_time: float, size_bytes: float) -> float:
         """Route a message through the link; return its head-arrival time.
@@ -65,13 +74,16 @@ class Link:
         the link's input.  Contention delays the message until the link is
         free; the link then stays busy for the serialization time.
         """
-        start = max(ready_time, self.busy_until)
-        contention = start - ready_time
+        busy = self.busy_until
+        if ready_time >= busy:
+            start = ready_time
+        else:
+            start = busy
+            self.contention_cycles += start - ready_time
         serialization = self.serialization_time(size_bytes)
         self.busy_until = start + serialization
         self.messages += 1
         self.bytes_carried += size_bytes
-        self.contention_cycles += contention
         return start + self.spec.latency + serialization
 
     def reset(self) -> None:

@@ -23,7 +23,7 @@ from .routing import RoutingTable
 from .topology import Topology
 
 
-@dataclass
+@dataclass(slots=True)
 class NocStats:
     """Aggregate NoC counters for one simulation."""
 
@@ -73,6 +73,12 @@ class Noc:
         self.model_contention = model_contention
         self._links: Dict[Tuple[int, int], Link] = {}
         self._fifo_floor: Dict[Tuple[int, int], float] = {}
+        # Per-(src, dst) route memo: the path is static, so the link
+        # objects, hop count and (in the uncontended model) the base
+        # latency and serialization link are resolved once per pair
+        # instead of per message.
+        self._route_cache: Dict[Tuple[int, int], tuple] = {}
+        self._min_latency_cache: Dict[Tuple[int, int], float] = {}
         self.stats = NocStats()
 
     def _link(self, u: int, v: int) -> Link:
@@ -84,6 +90,16 @@ class Noc:
         return link
 
     # ------------------------------------------------------------------
+    def _route(self, src: int, dst: int) -> tuple:
+        """Resolve (links, hops, base_latency, serialization_link) once
+        per (src, dst) pair; the route is static for a simulation."""
+        path = self.routing.path(src, dst)
+        links = tuple(self._link(u, v) for u, v in zip(path, path[1:]))
+        hops = len(path) - 1
+        entry = (links, hops, self.routing.path_latency(src, dst), links[0])
+        self._route_cache[(src, dst)] = entry
+        return entry
+
     def delivery_time(self, src: int, dst: int, size_bytes: float, depart: float) -> float:
         """Compute (and commit) the arrival time of one message.
 
@@ -95,33 +111,33 @@ class Noc:
             raise ValueError("message size must be non-negative")
         if src == dst:
             return depart
-        path = self.routing.path(src, dst)
-        t = depart
+        key = (src, dst)
+        entry = self._route_cache.get(key)
+        if entry is None:
+            entry = self._route(src, dst)
+        links, hops, path_latency, first_link = entry
+        stats = self.stats
         if self.model_contention:
-            for u, v in zip(path, path[1:]):
-                link = self._link(u, v)
+            t = depart
+            penalty = self.router_penalty
+            for link in links:
                 before = link.contention_cycles
-                t = link.traverse(t, size_bytes) + self.router_penalty
-                self.stats.contention_cycles += link.contention_cycles - before
+                t = link.traverse(t, size_bytes) + penalty
+                stats.contention_cycles += link.contention_cycles - before
         else:
             # Latency + one serialization (pipelined/wormhole) + hop penalties.
-            serialization = Link(
-                self.topo.link_spec(path[0], path[1]), chunk_bytes=self.chunk_bytes
-            ).serialization_time(size_bytes)
-            t = depart + self.routing.path_latency(src, dst)
-            t += serialization + self.router_penalty * (len(path) - 1)
+            t = depart + path_latency
+            t += first_link.serialization_time(size_bytes) + self.router_penalty * hops
 
-        hops = len(path) - 1
-        self.stats.messages += 1
-        self.stats.total_bytes += size_bytes
-        self.stats.total_hops += hops
+        stats.messages += 1
+        stats.total_bytes += size_bytes
+        stats.total_hops += hops
 
         # Per-source FIFO: arrival times of a (src, dst) stream never regress.
-        key = (src, dst)
         floor = self._fifo_floor.get(key, 0.0)
         if t < floor:
             t = floor
-            self.stats.fifo_adjustments += 1
+            stats.fifo_adjustments += 1
         self._fifo_floor[key] = t
         return t
 
@@ -129,8 +145,14 @@ class Noc:
         """Uncontended, zero-size message latency between two cores."""
         if src == dst:
             return 0.0
-        hops = self.routing.hop_count(src, dst)
-        return self.routing.path_latency(src, dst) + self.router_penalty * hops
+        key = (src, dst)
+        cached = self._min_latency_cache.get(key)
+        if cached is None:
+            hops = self.routing.hop_count(src, dst)
+            cached = (self.routing.path_latency(src, dst)
+                      + self.router_penalty * hops)
+            self._min_latency_cache[key] = cached
+        return cached
 
     def reset(self) -> None:
         """Clear all run-time state (links, FIFO floors, stats)."""

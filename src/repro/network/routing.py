@@ -22,6 +22,7 @@ class RoutingTable:
         # next_hop[src] maps dst -> first hop on the path src -> dst.
         self._next_hop: Dict[int, List[int]] = {}
         self._path_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._latency_cache: Dict[Tuple[int, int], float] = {}
         self._min_latency: Optional[float] = None
 
     def _global_min_latency(self) -> float:
@@ -36,6 +37,7 @@ class RoutingTable:
     def _compute_source(self, src: int) -> List[int]:
         """Dijkstra from ``src`` over link latencies; store first hops."""
         n = self.topo.n_cores
+        adj = self.topo._adj  # direct (neighbour -> spec) rows, hot loop
         dist = [float("inf")] * n
         first = [-1] * n
         dist[src] = 0.0
@@ -46,9 +48,8 @@ class RoutingTable:
                 continue
             if u != src and first[u] == -1:
                 first[u] = f
-            for v in self.topo.neighbors(u):
-                w = self.topo.link_spec(u, v).latency
-                nd = d + w
+            for v, spec in adj[u].items():
+                nd = d + spec.latency
                 if nd < dist[v]:
                     dist[v] = nd
                     hop = v if u == src else f
@@ -108,16 +109,22 @@ class RoutingTable:
 
     def path_latency(self, src: int, dst: int) -> float:
         """Sum of base link latencies along the route (no contention)."""
+        key = (src, dst)
+        cached = self._latency_cache.get(key)
+        if cached is not None:
+            return cached
         path = self.path(src, dst)
         total = 0.0
         for u, v in zip(path, path[1:]):
             total += self.topo.link_spec(u, v).latency
+        self._latency_cache[key] = total
         return total
 
     def clear_cache(self) -> None:
         """Drop all cached routes (after topology changes)."""
         self._next_hop.clear()
         self._path_cache.clear()
+        self._latency_cache.clear()
         self._min_latency = None
 
 

@@ -83,6 +83,7 @@ class BlockAnnotator:
         self.predictor = predictor or BranchPredictorModel()
         self.sample_branches = sample_branches
         self._static_cache: Dict[int, float] = {}
+        self._repeat_cache: Dict[tuple, float] = {}
 
     def base_cost(self, block: Block) -> float:
         """Instruction cost of a block, without dynamic branch penalties."""
@@ -125,10 +126,19 @@ class BlockAnnotator:
             return self.cost(block)
         if repeat == 0.0:
             return 0.0
+        # Fully deterministic (amortized branches use the expected
+        # penalty, never the sampled one), so the result is cacheable
+        # per (block, repeat); only single executions above draw from
+        # the stochastic predictor stream.
+        key = (id(block), repeat)
+        cached = self._repeat_cache.get(key)
+        if cached is not None:
+            return cached
         base = self.base_cost(block) * repeat
         branches = block.cond_branches * repeat
         if branches:
             base += self.predictor.expected(branches)
+        self._repeat_cache[key] = base
         return base
 
     def dynamic_cost(

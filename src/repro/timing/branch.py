@@ -43,7 +43,10 @@ class BranchPredictorModel:
             raise ValueError("accuracy must be within [0, 1]")
         if self.penalty_cycles < 0:
             raise ValueError("penalty must be non-negative")
-        self._rng = np.random.default_rng(self.seed)
+        # The RNG is built lazily: machines construct one predictor per
+        # core, and ``np.random.default_rng`` dominates that cost while
+        # most runs (expectation mode) never draw from it.
+        self._rng = None
         self.predictions = 0
         self.mispredictions = 0
 
@@ -54,7 +57,10 @@ class BranchPredictorModel:
             raise ValueError("branch count must be non-negative")
         if count == 0:
             return 0.0
-        misses = int(self._rng.binomial(count, 1.0 - self.accuracy))
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = np.random.default_rng(self.seed)
+        misses = int(rng.binomial(count, 1.0 - self.accuracy))
         self.predictions += count
         self.mispredictions += misses
         return misses * self.penalty_cycles

@@ -27,6 +27,11 @@ class InstrClass(enum.Enum):
     simple floating-point arithmetic and floating-point multiply/divide.
     """
 
+    # Enum.__hash__ hashes the member name string on every dict lookup;
+    # instruction classes key every cost-table and block-annotation dict,
+    # so use identity hashing (consistent with Enum's identity equality).
+    __hash__ = object.__hash__
+
     INT_ALU = "int_alu"
     INT_MUL = "int_mul"
     INT_DIV = "int_div"
@@ -86,6 +91,10 @@ class CostTable:
         """Return a table with every cost multiplied by ``factor``."""
         if factor <= 0:
             raise ValueError("speed factor must be positive")
+        if factor == 1.0:
+            # Identity scaling: share the table (it is immutable).  Saves
+            # one table construction per core on uniform machines.
+            return self
         return CostTable({k: v * factor for k, v in self.costs.items()})
 
     def with_cost(self, klass: InstrClass, cycles: float) -> "CostTable":

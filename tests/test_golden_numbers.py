@@ -1,0 +1,177 @@
+"""Golden-numbers regression test for the engine hot path.
+
+The hot-path optimisations (arrival-ordered inbox heap, dispatch caching,
+compute fusion, NoC route memoisation, numpy fabric) must be
+behaviour-preserving: the virtual-time results of a simulation are part of
+the engine's contract.  This test pins ``completion_vtime``, per-kind
+message counts, drift-stall counts and action counts for a matrix of
+seeded workloads across every sync policy; the expected values were
+captured from the pre-optimisation engine (PR 1) and must stay
+bit-identical.
+
+Regenerate (only when an *intentional* semantic change lands) with:
+
+    PYTHONPATH=src python tests/test_golden_numbers.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch import build_machine, dist_mesh, numa_mesh, shared_mesh
+from repro.workloads import get_workload
+
+#: (benchmark, memory, sync policy, cores, scale, seed)
+GOLDEN_RUNS = (
+    ("quicksort", "shared", "spatial", 16, "small", 0),
+    ("quicksort", "distributed", "conservative", 8, "tiny", 0),
+    ("connected_components", "distributed", "spatial", 16, "tiny", 0),
+    ("dijkstra", "numa", "quantum", 16, "tiny", 0),
+    ("spmxv", "shared", "bounded_slack", 16, "tiny", 0),
+    ("octree", "distributed", "laxp2p", 16, "tiny", 0),
+    ("barnes_hut", "shared", "unbounded", 16, "tiny", 0),
+)
+
+
+def run_golden(benchmark, memory, sync, cores, scale, seed):
+    """Run one configuration and distil the golden observables."""
+    if memory == "shared":
+        cfg = shared_mesh(cores)
+    elif memory == "numa":
+        cfg = numa_mesh(cores)
+    else:
+        cfg = dist_mesh(cores)
+    cfg = dataclasses.replace(cfg, sync=sync, seed=seed)
+    workload = get_workload(benchmark, scale=scale, seed=seed, memory=memory)
+    machine = build_machine(cfg)
+    result = machine.run(workload.root)
+    workload.verify(result["output"])
+    stats = machine.stats
+    return {
+        "completion_vtime": stats.completion_vtime,
+        "drift_stalls": stats.drift_stalls,
+        "actions": stats.actions,
+        "messages": {
+            kind.value: count
+            for kind, count in sorted(
+                stats.messages_by_kind.items(), key=lambda kv: kv[0].value
+            )
+            if count
+        },
+    }
+
+
+# Captured from the seed engine (commit 719504d) — see module docstring.
+EXPECTED = {
+    "quicksort-shared-spatial-16-small-0": {
+        "completion_vtime": 70042.09999999999,
+        "drift_stalls": 178,
+        "actions": 392,
+        "messages": {
+            "probe": 68,
+            "probe_ack": 68,
+            "queue_state": 534,
+            "task_spawn": 68,
+        },
+    },
+    "quicksort-distributed-conservative-8-tiny-0": {
+        "completion_vtime": 12428.5,
+        "drift_stalls": 418,
+        "actions": 150,
+        "messages": {
+            "data_request": 45,
+            "data_response": 45,
+            "joiner_request": 1,
+            "probe": 22,
+            "probe_ack": 22,
+            "queue_state": 130,
+            "task_spawn": 22,
+        },
+    },
+    "connected_components-distributed-spatial-16-tiny-0": {
+        "completion_vtime": 8045.0,
+        "drift_stalls": 21,
+        "actions": 1267,
+        "messages": {
+            "data_request": 571,
+            "data_response": 485,
+            "joiner_request": 1,
+            "probe": 105,
+            "probe_ack": 90,
+            "probe_nack": 15,
+            "queue_state": 1716,
+            "task_spawn": 90,
+        },
+    },
+    "dijkstra-numa-quantum-16-tiny-0": {
+        "completion_vtime": 15835.5,
+        "drift_stalls": 2283,
+        "actions": 2911,
+        "messages": {
+            "joiner_request": 1,
+            "probe": 123,
+            "probe_ack": 117,
+            "probe_nack": 6,
+            "queue_state": 1155,
+            "task_spawn": 117,
+        },
+    },
+    "spmxv-shared-bounded_slack-16-tiny-0": {
+        "completion_vtime": 5423.0,
+        "drift_stalls": 30,
+        "actions": 25,
+        "messages": {
+            "joiner_request": 1,
+            "probe": 3,
+            "probe_ack": 3,
+            "queue_state": 20,
+            "task_spawn": 3,
+        },
+    },
+    "octree-distributed-laxp2p-16-tiny-0": {
+        "completion_vtime": 4907.0,
+        "drift_stalls": 0,
+        "actions": 692,
+        "messages": {
+            "data_request": 134,
+            "data_response": 134,
+            "joiner_request": 1,
+            "probe": 138,
+            "probe_ack": 115,
+            "probe_nack": 23,
+            "queue_state": 1128,
+            "task_spawn": 115,
+        },
+    },
+    "barnes_hut-shared-unbounded-16-tiny-0": {
+        "completion_vtime": 44107.8,
+        "drift_stalls": 0,
+        "actions": 201,
+        "messages": {
+            "joiner_request": 1,
+            "probe": 7,
+            "probe_ack": 7,
+            "queue_state": 44,
+            "task_spawn": 7,
+        },
+    },
+}
+
+
+@pytest.mark.parametrize("run", GOLDEN_RUNS, ids=lambda r: "-".join(map(str, r[:4])))
+def test_golden_numbers(run):
+    key = "-".join(map(str, run))
+    assert key in EXPECTED, f"no golden record for {key}; regenerate"
+    got = run_golden(*run)
+    assert got == EXPECTED[key]
+
+
+if __name__ == "__main__":  # golden regeneration helper
+    import pprint
+
+    table = {}
+    for run in GOLDEN_RUNS:
+        table["-".join(map(str, run))] = run_golden(*run)
+    pprint.pprint(table, sort_dicts=True)
