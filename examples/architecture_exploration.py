@@ -8,9 +8,15 @@ polymorphic meshes (half the cores 2x slower, half 1.5x faster, equal
 cumulated computing power) — all from a single declarative config each.
 
 Run:  python examples/architecture_exploration.py [benchmark] [n_cores]
+
+``REPRO_EXAMPLE_CORES`` / ``REPRO_EXAMPLE_SCALE`` set the defaults
+(used by tests/test_docs.py to smoke-test every example quickly).
 """
 
+import os
 import sys
+
+SCALE = os.environ.get("REPRO_EXAMPLE_SCALE", "small")
 
 from repro import build_machine, get_workload
 from repro.arch import (
@@ -24,7 +30,7 @@ from repro.harness.report import format_table
 
 
 def run_on(name: str, cfg, seed: int = 0):
-    workload = get_workload(name, scale="small", seed=seed, memory=cfg.memory)
+    workload = get_workload(name, scale=SCALE, seed=seed, memory=cfg.memory)
     machine = build_machine(cfg)
     result = machine.run(workload.root)
     workload.verify(result["output"])
@@ -33,7 +39,8 @@ def run_on(name: str, cfg, seed: int = 0):
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "connected_components"
-    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    n_cores = (int(sys.argv[2]) if len(sys.argv) > 2
+               else int(os.environ.get("REPRO_EXAMPLE_CORES", "64")))
 
     architectures = [
         ("shared mesh", shared_mesh(n_cores)),

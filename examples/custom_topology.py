@@ -12,10 +12,16 @@ matrix"; this example builds three non-preset interconnects —
 engine parts instead of presets.
 
 Run:  python examples/custom_topology.py
+
+``REPRO_EXAMPLE_SCALE`` shrinks the workload (used by
+tests/test_docs.py to smoke-test every example quickly).
 """
 
+import os
 import tempfile
 import pathlib
+
+SCALE = os.environ.get("REPRO_EXAMPLE_SCALE", "small")
 
 from repro.arch.io import load_topology, save_topology
 from repro.core.engine import Machine
@@ -39,7 +45,7 @@ def assemble(topo, routing=None):
 
 
 def run_on(machine, label):
-    workload = get_workload("connected_components", scale="small", seed=0)
+    workload = get_workload("connected_components", scale=SCALE, seed=0)
     result = machine.run(workload.root)
     workload.verify(result["output"])
     stats = machine.stats

@@ -12,7 +12,12 @@ accesses and messages.  This example builds a parallel histogram
 * the same program runs unchanged on shared and distributed memory.
 
 Run:  python examples/custom_workload.py
+
+``REPRO_EXAMPLE_SCALE=tiny`` shrinks the dataset (used by
+tests/test_docs.py to smoke-test every example quickly).
 """
+
+import os
 
 import numpy as np
 
@@ -38,6 +43,8 @@ MERGE_BUCKET = Block(
 
 N_BUCKETS = 16
 SHARD = 250
+N_VALUES = (800 if os.environ.get("REPRO_EXAMPLE_SCALE") == "tiny"
+            else 4_000)
 
 
 def mapper(ctx, data, lo, hi, merged, lock):
@@ -76,7 +83,7 @@ def histogram_root(data):
 
 def main() -> None:
     rng = np.random.default_rng(7)
-    data = [int(x) for x in rng.integers(0, 1_000, size=4_000)]
+    data = [int(x) for x in rng.integers(0, 1_000, size=N_VALUES)]
     expected = [0] * N_BUCKETS
     for value in data:
         expected[value % N_BUCKETS] += 1

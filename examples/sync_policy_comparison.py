@@ -15,10 +15,16 @@ time (accuracy: deviation vs the conservative referee), host wall time
 (speed), and drift stalls (synchronization work).
 
 Run:  python examples/sync_policy_comparison.py [benchmark] [n_cores]
+
+``REPRO_EXAMPLE_CORES`` / ``REPRO_EXAMPLE_SCALE`` set the defaults
+(used by tests/test_docs.py to smoke-test every example quickly).
 """
 
 import dataclasses
+import os
 import sys
+
+SCALE = os.environ.get("REPRO_EXAMPLE_SCALE", "small")
 
 from repro import build_machine, get_workload
 from repro.arch import shared_mesh
@@ -30,13 +36,14 @@ POLICIES = ["conservative", "spatial", "quantum", "bounded_slack",
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "quicksort"
-    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    n_cores = (int(sys.argv[2]) if len(sys.argv) > 2
+               else int(os.environ.get("REPRO_EXAMPLE_CORES", "64")))
 
     rows = []
     reference_vtime = None
     for policy in POLICIES:
         cfg = dataclasses.replace(shared_mesh(n_cores), sync=policy)
-        workload = get_workload(benchmark, scale="small", seed=0)
+        workload = get_workload(benchmark, scale=SCALE, seed=0)
         machine = build_machine(cfg)
         result = machine.run(workload.root)
         workload.verify(result["output"])

@@ -7,8 +7,12 @@ a breakdown of the run-time protocol traffic — the view an architect uses
 to understand *why* a workload stops scaling.
 
 Run:  python examples/tracing.py [benchmark] [n_cores]
+
+``REPRO_EXAMPLE_CORES`` / ``REPRO_EXAMPLE_SCALE`` set the defaults
+(used by tests/test_docs.py to smoke-test every example quickly).
 """
 
+import os
 import sys
 from collections import Counter
 
@@ -19,9 +23,12 @@ from repro.harness.trace import Tracer
 
 def main() -> None:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "quicksort"
-    n_cores = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    n_cores = (int(sys.argv[2]) if len(sys.argv) > 2
+               else int(os.environ.get("REPRO_EXAMPLE_CORES", "16")))
 
-    workload = get_workload(benchmark, scale="small", seed=0)
+    workload = get_workload(
+        benchmark, scale=os.environ.get("REPRO_EXAMPLE_SCALE", "small"),
+        seed=0)
     machine = build_machine(shared_mesh(n_cores))
     tracer = Tracer(machine)
 

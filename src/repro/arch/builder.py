@@ -77,7 +77,22 @@ def build_memory(cfg: ArchConfig):
 
 
 def build_machine(cfg: ArchConfig) -> Machine:
-    """Assemble a ready-to-run machine from a configuration."""
+    """Assemble a ready-to-run (serial) machine from a configuration.
+
+    With ``cfg.shards > 0`` the machine is *fenced*: a
+    :class:`~repro.parallel.partition.Partition` is attached as
+    ``machine.fence`` and the run-time restricts dispatch, queue-state
+    gossip, steal victims and distributed-memory homes to shard-local
+    cores.  The fence changes simulation semantics identically under
+    both backends; use :func:`build_backend` to honour ``cfg.backend``.
+
+    Example::
+
+        from repro.arch import build_machine, shared_mesh
+        machine = build_machine(shared_mesh(64))
+        result = machine.run(my_root_fn)
+        print(machine.stats.completion_vtime)
+    """
     topo = build_topology(cfg)
     policy = make_policy(cfg.sync, **cfg.sync_kwargs)
     params = EngineParams(
@@ -104,6 +119,10 @@ def build_machine(cfg: ArchConfig) -> Machine:
         inbox_heap=cfg.inbox_heap,
         seed=cfg.seed,
     )
+    if cfg.shards > 0:
+        from ..parallel.partition import contiguous_partition
+
+        machine.fence = contiguous_partition(topo, cfg.shards)
     machine.attach_memory(build_memory(cfg))
     machine.attach_runtime(
         Runtime(
@@ -112,3 +131,28 @@ def build_machine(cfg: ArchConfig) -> Machine:
         )
     )
     return machine
+
+
+def build_backend(cfg: ArchConfig):
+    """Build the execution backend ``cfg.backend`` selects.
+
+    Returns a serial :class:`~repro.core.engine.Machine` or a
+    :class:`~repro.parallel.coordinator.ShardedMachine`; both expose
+    ``run_workloads(...)`` / ``stats``, so callers can treat the result
+    uniformly.  The sharded backend additionally requires picklable
+    workload *specs* (it rebuilds roots inside each worker), hence the
+    distinct entry point rather than ``run(root_fn)``.
+
+    Example::
+
+        import dataclasses
+        from repro.arch import build_backend, shared_mesh
+        cfg = dataclasses.replace(shared_mesh(16), shards=2,
+                                  backend="sharded")
+        backend = build_backend(cfg)
+    """
+    if cfg.backend == "sharded":
+        from ..parallel.coordinator import ShardedMachine
+
+        return ShardedMachine(cfg)
+    return build_machine(cfg)

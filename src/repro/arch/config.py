@@ -90,6 +90,17 @@ class ArchConfig:
 
     seed: int = 0
 
+    # Sharded execution (repro.parallel).  ``shards > 0`` is a *semantic*
+    # switch honoured by both backends: the mesh is split into that many
+    # contiguous regions and the run-time fences dispatch, queue-state
+    # gossip, steal victims and distributed-memory homes to the region
+    # (USER messages may still cross).  ``backend`` then picks the
+    # execution strategy — "serial" runs everything in-process,
+    # "sharded" runs one worker process per shard; a fenced config
+    # produces bit-identical results under either.
+    backend: str = "serial"          # serial | sharded
+    shards: int = 0                  # 0 = unfenced (single region)
+
     def __post_init__(self) -> None:
         if self.n_cores < 1:
             raise SimConfigError("need at least one core")
@@ -99,6 +110,15 @@ class ArchConfig:
             raise SimConfigError(f"unknown topology {self.topology!r}")
         if self.polymorphic and self.speed_factors is not None:
             raise SimConfigError("set either polymorphic or speed_factors")
+        if self.backend not in ("serial", "sharded"):
+            raise SimConfigError(f"unknown backend {self.backend!r}")
+        if self.shards < 0 or self.shards > self.n_cores:
+            raise SimConfigError(
+                f"shards must be in [0, n_cores], got {self.shards}")
+        if self.backend == "sharded" and self.shards < 1:
+            raise SimConfigError(
+                "the sharded backend needs shards >= 1 "
+                "(e.g. --shards 4)")
 
     def resolved_speed_factors(self) -> list:
         """Per-core speed factors (cost multipliers; >1 = slower)."""

@@ -74,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "random"))
     run.add_argument("--baseline", action="store_true",
                      help="also run 1 core and report the speedup")
+    run.add_argument("--backend", choices=("serial", "sharded"),
+                     default="serial",
+                     help="execution backend: serial (default) or one "
+                          "worker process per shard")
+    run.add_argument("--shards", type=int, default=0,
+                     help="partition the mesh into N contiguous shards "
+                          "(fences dispatch/steal to stay in-shard; "
+                          "required for --backend sharded)")
 
     sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
     sweep.add_argument("figure", choices=SWEEPS)
@@ -155,9 +163,12 @@ def _make_config(args):
             cfg = numa_mesh(args.cores)
         else:
             cfg = dist_mesh(args.cores)
+    if args.backend == "sharded" and args.shards < 1:
+        raise SystemExit("--backend sharded requires --shards N "
+                         "(e.g. --shards 4)")
     return dataclasses.replace(
         cfg, drift_bound=args.drift, sync=args.sync, dispatch=args.dispatch,
-        seed=args.seed,
+        seed=args.seed, backend=args.backend, shards=args.shards,
     )
 
 
@@ -165,10 +176,21 @@ def _cmd_run(args, out) -> int:
     cfg = _make_config(args)
     workload = get_workload(args.benchmark, scale=args.scale, seed=args.seed,
                             memory=cfg.memory)
-    machine = build_machine(cfg)
-    result = machine.run(workload.root)
+    if cfg.backend == "sharded":
+        from .arch import build_backend
+        from .parallel import WorkloadSpec
+
+        backend = build_backend(cfg)
+        print(backend.describe(), file=out)
+        (result,) = backend.run_workloads([
+            WorkloadSpec(args.benchmark, scale=args.scale, seed=args.seed,
+                         memory=cfg.memory, root_core=0)])
+        stats = backend.stats
+    else:
+        machine = build_machine(cfg)
+        result = machine.run(workload.root)
+        stats = machine.stats
     workload.verify(result["output"])
-    stats = machine.stats
     print(f"benchmark        : {args.benchmark} {workload.meta}", file=out)
     print(f"architecture     : {cfg.name} sync={cfg.sync} T={cfg.drift_bound}",
           file=out)
@@ -179,8 +201,8 @@ def _cmd_run(args, out) -> int:
     print(f"host wall        : {stats.wall_seconds:.3f} s", file=out)
     if args.baseline:
         base_cfg = dataclasses.replace(cfg, n_cores=1, polymorphic=False,
-                                       topology="mesh",
-                                       name="single-core")
+                                       topology="mesh", name="single-core",
+                                       backend="serial", shards=0)
         base_workload = get_workload(args.benchmark, scale=args.scale,
                                      seed=args.seed, memory=cfg.memory)
         base = build_machine(base_cfg).run(base_workload.root)
@@ -249,7 +271,13 @@ def _cmd_bench(args, out) -> int:
     if args.profile:
         perfbench.profile_suite(quick=args.quick, top=20, out=out)
         return 0
-    only = tuple(x for x in args.only.split(",") if x) if args.only else None
+    only = None
+    if args.only is not None:
+        only = tuple(x.strip() for x in args.only.split(",") if x.strip())
+        if not only:
+            print(f"error: --only {args.only!r} names no benchmarks; "
+                  f"choose from {sorted(perfbench.SUITE)}", file=sys.stderr)
+            return 2
     if args.baseline and perfbench.load_record(args.baseline) is None:
         print(f"warning: baseline {args.baseline} missing or unreadable; "
               "no speedups will be reported", file=sys.stderr)

@@ -17,9 +17,10 @@ was discarded) or by the policy's global recheck.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .actions import (
     Acquire,
@@ -46,6 +47,8 @@ from ..network.topology import Topology
 from ..timing.annotator import BlockAnnotator
 from ..timing.branch import BranchPredictorModel
 from ..timing.isa import CostTable, default_cost_table
+
+INF = math.inf
 
 
 @dataclass
@@ -90,7 +93,45 @@ class EngineParams:
 
 
 class Machine:
-    """A simulated many-core machine."""
+    """A simulated many-core machine: cores + NoC + virtual-time fabric.
+
+    The central object of the simulator.  It owns one
+    :class:`~repro.core.coreunit.CoreUnit` per simulated core, the
+    :class:`~repro.network.noc.Noc` that times every message, the
+    :class:`~repro.core.fabric.VirtualTimeFabric` holding per-core
+    clocks and drift state, and the :class:`SyncPolicy` that decides
+    which core may run next.  A memory model and a task run-time are
+    attached after construction (``attach_memory`` / ``attach_runtime``)
+    — most callers get a fully wired machine from
+    :func:`repro.arch.build_machine` instead of calling this directly.
+
+    Two driving interfaces:
+
+    * ``run(root_fn)`` / ``run_roots([...])`` — the serial loop: seed
+      root tasks, interleave all cores through the ready ring until
+      everything completes, return the roots' results.
+    * the shard-stepping interface (``set_shard_scope``,
+      ``begin_run`` / ``seed_root``, ``run_shard_round``,
+      ``run_shard_waiver``, ``inject_message``, ``finish_run``) — used
+      by the sharded multiprocess backend to drive only a subset of
+      cores in externally-coordinated rounds (see
+      ``repro.parallel`` and docs/parallel.md).
+
+    Scheduling is cooperative and non-preemptive: each ready core runs
+    one *slice* (up to ``params.slice_actions`` actions) before the
+    next core's turn, matching the paper's userland-threads model.
+    Consecutive pure-compute actions within a slice are fused into one
+    fabric advance, and per-core inboxes keep an incremental
+    arrival-ordered heap only when the policy needs ordered queries
+    (``inbox_heap``).
+
+    Example::
+
+        from repro.arch import build_machine, shared_mesh
+        machine = build_machine(shared_mesh(16))
+        result = machine.run(my_root_fn)   # root's return value
+        print(machine.stats.completion_vtime, machine.describe())
+    """
 
     def __init__(
         self,
@@ -181,6 +222,20 @@ class Machine:
         self._ran = False
         self._stop_at_vtime: Optional[float] = None
         self.root_task: Optional[Task] = None
+        self.root_tasks: List[Task] = []
+        #: Partition fencing the run-time to shard-local dispatch (set by
+        #: the builder when ``ArchConfig.shards > 0``); None = unfenced.
+        self.fence = None
+        # Shard-execution scope (sharded backend): when set, only cores in
+        # ``_owned`` are driven locally and messages to other cores are
+        # handed to ``_foreign_sink`` instead of delivered (see
+        # repro.parallel).  ``_horizon`` caps how far any owned core may
+        # run inside one coordination round; cores at or past it are
+        # parked until the next round raises the horizon.
+        self._owned: Optional[set] = None
+        self._foreign_sink: Optional[Callable[[Message], None]] = None
+        self._horizon: float = INF
+        self._window_parked: set = set()
 
         # Hot-path dispatch caching: policy capability flags and hooks are
         # resolved once here instead of per-slice getattr lookups, and the
@@ -245,30 +300,246 @@ class Machine:
         reaches the given value (partial simulation for sampling long
         workloads); the root task's result is then ``None`` and
         ``machine.live_tasks`` reports the unfinished work.
+
+        Example::
+
+            machine = build_machine(shared_mesh(16))
+            workload = get_workload("quicksort", scale="tiny")
+            result = machine.run(workload.root)
+            workload.verify(result["output"])
         """
+        results = self.run_roots([(root_fn, args, root_core)],
+                                 stop_at_vtime=stop_at_vtime)
+        return results[0]
+
+    def run_roots(
+        self,
+        roots: Sequence[Tuple[Callable, tuple, int]],
+        stop_at_vtime: Optional[float] = None,
+    ) -> List[Any]:
+        """Simulate several independent root tasks; return their results.
+
+        ``roots`` is a sequence of ``(root_fn, args, root_core)`` tuples;
+        every root is seeded at virtual time 0 on its core and all run
+        concurrently.  ``stats.completion_vtime`` becomes the latest root
+        finish time (the makespan).  This is the natural shape for
+        shard-parallel experiments: one root per mesh region, each
+        spawning only within its region (see ``ArchConfig.shards``).
+
+        Example::
+
+            machine = build_machine(shared_mesh(16))
+            results = machine.run_roots([(rootA, (), 0), (rootB, (), 8)])
+        """
+        self.begin_run(stop_at_vtime=stop_at_vtime)
+        for fn, args, core in roots:
+            self.seed_root(fn, args, core)
+        with WallTimer(self.stats):
+            self._main_loop()
+        self.finish_run()
+        return [t.result for t in self.root_tasks]
+
+    # -- shard-executable stepping interface -----------------------------
+    #
+    # The sharded backend (repro.parallel) drives a Machine replica one
+    # coordination round at a time instead of through _main_loop: each
+    # worker process calls begin_run/seed_root once, then run_shard_round
+    # per round, then finish_run.  These methods are the complete
+    # execution surface a shard worker needs; everything else (drift
+    # checks, slices, message servicing) is shared, unmodified engine
+    # code — which is what keeps the two backends bit-identical for
+    # shard-closed runs.
+
+    def begin_run(self, stop_at_vtime: Optional[float] = None) -> None:
+        """Prepare a (single-use) machine for execution: bind the policy
+        and arm the run; roots are then seeded with :meth:`seed_root`."""
         if self._ran:
             raise SimError("a Machine instance is single-use; build a new one")
         if self.memory is None or self.runtime is None:
             raise SimConfigError("attach memory and runtime before run()")
         self._ran = True
+        self._stop_at_vtime = stop_at_vtime
         self.policy.attach(self)
-        root = Task(root_fn, args, group=None, birth_time=0.0, is_root=True)
-        self.root_task = root
-        self.live_tasks = 1
+
+    def seed_root(self, root_fn: Callable, args: tuple = (),
+                  root_core: int = 0) -> Task:
+        """Queue a root task at virtual time 0 on ``root_core``."""
+        if not 0 <= root_core < self.n_cores:
+            raise SimConfigError(f"root core {root_core} out of range")
+        root = Task(root_fn, tuple(args), group=None, birth_time=0.0,
+                    is_root=True)
+        if self.root_task is None:
+            self.root_task = root
+        self.root_tasks.append(root)
+        self.live_tasks += 1
         core = self.cores[root_core]
+        root.core = root_core
         core.queue.append(root)
         self._make_ready(core)
-        self._stop_at_vtime = stop_at_vtime
-        with WallTimer(self.stats):
-            self._main_loop()
-        self.stats.completion_vtime = (
-            root.finish_time if root.finish_time is not None else self.fabric.max_vtime
-        )
+        return root
+
+    def set_shard_scope(
+        self, owned: Iterable[int], foreign_sink: Callable[[Message], None]
+    ) -> None:
+        """Restrict execution to ``owned`` cores (sharded backend).
+
+        Messages emitted to any other core are handed to ``foreign_sink``
+        (after NoC timing and stats accounting on the sending side)
+        instead of being delivered locally; the sink forwards them to the
+        owning worker's inbox at the next round barrier.
+        """
+        self._owned = set(owned)
+        self._foreign_sink = foreign_sink
+
+    def run_shard_round(self, horizon: float = INF) -> bool:
+        """Drive the owned cores until quiescent, drift-stalled or parked
+        at the window ``horizon``; return whether any slice progressed.
+
+        The horizon is the conservative window bound ``global_min + T``
+        computed by the shard coordinator: a core at or past it is parked
+        for the round (a core can overshoot by at most one scheduling
+        slice).  Cores drift-stalled on boundary proxies are woken
+        automatically when :meth:`VirtualTimeFabric.set_proxy_time`
+        raises a neighbour's published time between rounds.
+        """
+        self._horizon = horizon
+        if self._window_parked:
+            parked, self._window_parked = self._window_parked, set()
+            for cid in parked:
+                core = self.cores[cid]
+                if core.has_work():
+                    self._make_ready(core)
+        # Mirror the serial main loop, which re-queues every stalled core
+        # after each drain: proxies may have been anchored higher since
+        # the stall, so the drift check deserves a retry.
+        self._push_all_stalled()
+        return self._drain_ready()
+
+    def run_shard_waiver(self) -> bool:
+        """Force one scheduling slice on the earliest owned core with
+        work, bypassing the sync policy — the sharded escalation
+        ladder's last step before declaring deadlock.
+
+        The round-based interleaving can wedge where serial trajectories
+        do not: every core with work legitimately drift-stalled against
+        a recv-blocked core whose unblocking sender sits queued behind
+        another stalled task.  The escape mirrors the paper's
+        Section II-B lock waiver — run the globally-earliest stalled
+        work anyway, accepting a bounded, counted accuracy error
+        (``stats.lock_waiver_runs``).  Forcing only the earliest core
+        keeps the error minimal: it is the work a fully-relaxed drift
+        check would admit first.
+        """
+        owned = self._owned if self._owned is not None else range(self.n_cores)
+        core = None
+        best = INF
+        for cid in owned:
+            cand = self.cores[cid]
+            if not cand.has_work():
+                continue
+            t = self._core_next_time(cand)
+            if t < best:
+                best, core = t, cand
+        if core is None:
+            return False
+        self.stats.lock_waiver_runs += 1
+        policy = self.policy
+        orig = policy.may_run
+        policy.__dict__["may_run"] = lambda c: c is core or orig(c)
+        try:
+            progressed = self._run_slice(core)
+        finally:
+            del policy.__dict__["may_run"]
+        if core.has_work():
+            self._make_ready(core)
+        return progressed
+
+    def _core_next_time(self, core: CoreUnit) -> float:
+        """Earliest virtual time at which the core can actually execute
+        its next unit (INF when it has no work).
+
+        An *active* core's clock is monotone (``advance_to``), so queued
+        starts and inbox arrivals in its past are clamped up to
+        ``vtime`` — reporting the raw ready time would drag the window
+        horizon below every other core's clock and park the very
+        neighbours whose progress a drift-stalled core is waiting on.
+        An idle core re-activates at the unit's own time
+        (``set_active`` may lower its clock), so no clamp applies.
+        """
+        if core.current is not None:
+            return self.fabric.vtime[core.cid]
+        t = core.next_start_time()
+        arrival = core.next_event_time()
+        if arrival < t:
+            t = arrival
+        if self.fabric.active[core.cid]:
+            vt = self.fabric.vtime[core.cid]
+            if t < vt:
+                t = vt
+        return t
+
+    def shard_min_time(self) -> float:
+        """Earliest virtual time at which an owned core has pending work
+        (INF when the shard is quiescent); feeds the coordinator's global
+        window computation."""
+        owned = self._owned if self._owned is not None else range(self.n_cores)
+        best = INF
+        for cid in owned:
+            core = self.cores[cid]
+            if not core.has_work():
+                continue
+            t = self._core_next_time(core)
+            if t < best:
+                best = t
+        return best
+
+    def shard_has_work(self) -> bool:
+        """True while any owned core has runnable or pending work."""
+        owned = self._owned if self._owned is not None else range(self.n_cores)
+        return any(self.cores[cid].has_work() for cid in owned)
+
+    def inject_message(
+        self,
+        kind: MsgKind,
+        src: int,
+        dst: int,
+        send_time: float,
+        size: float,
+        arrival: float,
+        payload: Any = None,
+        tag: Optional[object] = None,
+    ) -> Message:
+        """Deliver a message whose NoC arrival was computed elsewhere.
+
+        Used by the sharded backend to inject boundary-crossing messages
+        received from a peer worker: the sender's NoC replica already
+        assigned the arrival time and counted the message, so delivery
+        here is a plain inbox push plus destination wake-up.
+        """
+        msg = Message(kind, src, dst, send_time, size, payload=payload,
+                      tag=tag)
+        msg.arrival = arrival
+        dest = self.cores[dst]
+        dest.inbox_push(msg)
+        hook = self._on_event_enqueued
+        if hook is not None:
+            hook(dest)
+        self._make_ready(dest)
+        return msg
+
+    def finish_run(self) -> None:
+        """Fold end-of-run state into ``stats`` (NoC, busy cycles,
+        completion time = latest root finish, or the frontier when a root
+        was interrupted by ``stop_at_vtime``)."""
+        finishes = [t.finish_time for t in self.root_tasks]
+        if finishes and all(f is not None for f in finishes):
+            self.stats.completion_vtime = max(finishes)
+        else:
+            self.stats.completion_vtime = self.fabric.max_vtime
         self.stats.noc = self.noc.stats.as_dict()
         self.stats.shadow_recomputes = self.fabric.shadow_recomputes
         for c in self.cores:
             self.stats.core_busy_cycles[c.cid] = c.busy_cycles
-        return root.result
 
     @property
     def completion_time(self) -> float:
@@ -345,10 +616,22 @@ class Machine:
         ready = self._ready
         policy = self.policy
         interval = self.params.parallelism_sample_interval
+        horizon = self._horizon
+        vtimes = self.fabric.vtime
         pops = 0
         while ready:
             core = ready.popleft()
             core.in_ready = False
+            if (vtimes[core.cid] >= horizon
+                    and self._core_next_time(core) >= horizon):
+                # Sharded backend: the core's next executable unit lies
+                # past the round's window; park until the coordinator
+                # raises the horizon.  (The raw vtime alone is not
+                # enough — an idle core keeps its old clock while a
+                # queued task may start well below it.)  The horizon is
+                # INF on the serial backend, so this never fires there.
+                self._window_parked.add(core.cid)
+                continue
             if interval is not None:
                 pops += 1
                 if pops % interval == 0:
@@ -547,6 +830,14 @@ class Machine:
         msg = Message(kind, src, dst, t0, size, payload=payload, tag=tag)
         msg.arrival = self.noc.delivery_time(src, dst, size, t0)
         self.stats.messages_by_kind[kind] += 1
+        owned = self._owned
+        if owned is not None and dst not in owned:
+            # Sharded backend: the destination lives in another worker.
+            # NoC timing and the sender-side count above already happened
+            # here; the sink ships the message to the owning shard, which
+            # delivers it via inject_message.
+            self._foreign_sink(msg)
+            return msg
         dest = self.cores[dst]
         dest.inbox_push(msg)
         hook = self._on_event_enqueued

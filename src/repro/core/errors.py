@@ -25,6 +25,18 @@ class SimConfigError(SimError):
     """Invalid architecture or engine configuration."""
 
 
+class ShardBoundaryError(SimError):
+    """A run-time protocol message tried to cross a shard boundary.
+
+    With ``ArchConfig.shards > 0`` the dispatcher, work stealing and
+    memory placement are fenced to shard-local cores, so only USER
+    messages (explicit ``ctx.send``) may cross.  Anything else carries
+    live engine objects (tasks, locks, cells) that cannot be shipped
+    between worker processes; reaching this error means the fence has a
+    hole and the run cannot be bit-identical across backends.
+    """
+
+
 class ProtocolError(SimError):
     """A task violated the programming-model protocol (e.g. double release)."""
 

@@ -43,6 +43,43 @@ from ..network.topology import Topology
 INF = math.inf
 
 
+def exact_shadow_fixpoint(
+    neighbors: List[tuple],
+    active: List[bool],
+    vtime: List[float],
+    T: float,
+) -> List[float]:
+    """Exact published-time fixpoint: ``min over active cores a of
+    (vtime(a) + T * hops(i, a))`` for every idle core ``i``.
+
+    Multi-source Dijkstra from the active cores, with ``T`` added per
+    hop using the same left-to-right float accumulation as the engine's
+    incremental relax waves (bit-identical results).  Standalone so the
+    shard coordinator can run it over the *global* core set — a worker
+    alone would treat remote active cores as idle and publish
+    stale-high shadows for them, which is exactly the drift-bound
+    violation the sharded backend must avoid.
+    """
+    n = len(neighbors)
+    pub = [INF] * n
+    heap: List[tuple] = []
+    for c in range(n):
+        if active[c]:
+            pub[c] = vtime[c]
+            heap.append((pub[c], c))
+    heapq.heapify(heap)
+    while heap:
+        d, c = heapq.heappop(heap)
+        if d > pub[c]:
+            continue
+        cand = d + T
+        for j in neighbors[c]:
+            if not active[j] and cand < pub[j]:
+                pub[j] = cand
+                heapq.heappush(heap, (cand, j))
+    return pub
+
+
 class VirtualTimeFabric:
     """Shared virtual-time state for all cores of one machine."""
 
@@ -170,6 +207,63 @@ class VirtualTimeFabric:
             self.max_vtime = vt
         if vt > self.published[cid]:
             self.published[cid] = vt
+            self._notify(cid)
+            if self.shadow_enabled and self._idle_nbr_count[cid]:
+                self._relax_up(cid)
+
+    # -- shard proxy anchoring -------------------------------------------
+    def set_proxy_time(self, cid: int, value: float) -> None:
+        """Anchor a boundary proxy at its owning worker's published time.
+
+        Sharded backend only: core ``cid`` is simulated by another
+        worker process, and this replica holds it as a *proxy*.  The
+        first write flips it active so local drift checks and relax
+        waves treat it as a true anchor — a worker-local recompute that
+        considered it idle would shadow *over* it and publish
+        stale-high values, violating the drift bound.  Updates are
+        monotone (raise-only); stalled neighbours are woken through the
+        usual publish-increase hook.  Lowering is deliberately not
+        supported: published times are *permissions*, and revoking one
+        can wedge cores that already ran under it in a mutually-stalled
+        state the serial engine (whose fast-mode values are equally
+        monotone between rescues) never reaches.
+        """
+        if not self.active[cid]:
+            self.active[cid] = True
+            counts = self._idle_nbr_count
+            for j in self._neighbors[cid]:
+                counts[j] -= 1
+        if value > self.vtime[cid]:
+            self.vtime[cid] = value
+        if value > self.max_vtime:
+            self.max_vtime = value
+        old = self.published[cid]
+        if math.isinf(old) or value > old:
+            self.published[cid] = value
+            if not math.isinf(old):
+                self._notify(cid)
+                if self.shadow_enabled and self._idle_nbr_count[cid]:
+                    self._relax_up(cid)
+
+    def adopt_shadow(self, cid: int, value: float) -> None:
+        """Adopt a coordinator-computed exact shadow for an idle core.
+
+        Used by the sharded backend, where the coordinator runs
+        :func:`exact_shadow_fixpoint` over the global (active, vtime)
+        state each round and pushes the results back to every worker's
+        replica — fast-mode shadows of an idle region freeze when the
+        cores that would relax them live in another shard.  Adoption is
+        *raise-only* (with the usual first-write-over-INF exception):
+        the rescue exists to grant stalled cores more room, and a value
+        below the local one only means local relaxation was already
+        ahead of the snapshot the coordinator computed from.  Active
+        cores — including anchored proxies — are left untouched.
+        """
+        if self.active[cid]:
+            return
+        old = self.published[cid]
+        if math.isinf(old) or value > old:
+            self.published[cid] = value
             self._notify(cid)
             if self.shadow_enabled and self._idle_nbr_count[cid]:
                 self._relax_up(cid)
@@ -360,29 +454,13 @@ class VirtualTimeFabric:
                     self._notify(c)
 
     def _full_recompute_heap(self) -> None:
-        """Heap-based exact fixpoint (multi-source Dijkstra)."""
-        n = self.n_cores
-        pub = [INF] * n
-        heap: List[tuple] = []
-        for c in range(n):
-            if self.active[c]:
-                pub[c] = self.vtime[c]
-                heap.append((pub[c], c))
-        heapq.heapify(heap)
-        T = self.T
-        while heap:
-            d, c = heapq.heappop(heap)
-            if d > pub[c]:
-                continue
-            cand = d + T
-            for j in self._neighbors[c]:
-                if not self.active[j] and cand < pub[j]:
-                    pub[j] = cand
-                    heapq.heappush(heap, (cand, j))
+        """Heap-based exact fixpoint (see :func:`exact_shadow_fixpoint`)."""
+        pub = exact_shadow_fixpoint(
+            self._neighbors, self.active, self.vtime, self.T)
         old = self.published
         self.published = pub
         if self.on_publish_increase is not None:
-            for c in range(n):
+            for c in range(self.n_cores):
                 if pub[c] != old[c]:
                     self._notify(c)
 

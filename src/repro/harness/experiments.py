@@ -36,7 +36,23 @@ DEFAULT_VALIDATION_SIZES = (1, 4, 16)
 
 @dataclass
 class RunRecord:
-    """Outcome of one simulated benchmark run."""
+    """Outcome of one simulated benchmark run.
+
+    ``vtime`` is the simulated completion time in cycles, ``wall`` the
+    host seconds the simulation took, and ``native_wall`` the host
+    seconds of the unsimulated equivalent computation — the denominator
+    of the paper's normalized simulation time (Fig. 7; 0.0 unless the
+    run measured it).  ``stats`` is the machine's full
+    :class:`~repro.core.stats.SimStats`.
+
+    Example::
+
+        from repro.arch import shared_mesh
+        from repro.harness.experiments import run_benchmark
+
+        rec = run_benchmark("quicksort", shared_mesh(16), scale="tiny")
+        print(rec.vtime, rec.stats.total_messages)
+    """
 
     benchmark: str
     arch: str

@@ -50,7 +50,25 @@ class MsgEvent:
 
 
 class Tracer:
-    """Records task spans, stalls and messages from one machine run."""
+    """Records task spans, stalls and messages from one machine run.
+
+    Attach *before* running; the tracer wraps the machine's scheduling
+    hooks, so everything that executes afterwards is captured.  Query
+    the raw records (``spans``, ``stalls``, ``messages``), compute
+    ``core_utilization()``, dump ``export()`` for external tooling, or
+    draw ``render_gantt()``.
+
+    Example::
+
+        from repro.arch import build_machine, shared_mesh
+        from repro.harness.trace import Tracer
+
+        machine = build_machine(shared_mesh(16))
+        tracer = Tracer(machine)
+        machine.run(my_root_fn)
+        print(len(tracer.spans), "task spans")
+        print(tracer.render_gantt(width=60))
+    """
 
     def __init__(self, machine, trace_messages: bool = True) -> None:
         self.machine = machine

@@ -1,0 +1,97 @@
+"""Inter-process plumbing for the sharded backend.
+
+Workers exchange two kinds of traffic:
+
+* **edge channels** — one duplex pipe per adjacent shard pair, carrying
+  each round's boundary batch: the sender's published virtual times for
+  its boundary cores plus any boundary-crossing USER messages;
+* **control channels** — one duplex pipe per worker to the coordinator,
+  carrying round commands (``go``/``rescue``/``adopt``/``stop``) and
+  worker replies (``status``/``state``/``done``/``error``).
+
+Everything shipped over a pipe is plain picklable data: messages are
+flattened to tuples (the receiving worker rebuilds a real
+:class:`~repro.core.messages.Message` via ``Machine.inject_message``),
+and workloads travel as :class:`WorkloadSpec` descriptions that each
+worker resolves locally through the deterministic
+:func:`repro.workloads.get_workload` factories — workload roots
+themselves are closures and cannot cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.messages import Message
+
+
+@dataclass
+class WorkloadSpec:
+    """Picklable description of one root workload.
+
+    The sharded backend re-creates the workload inside the worker that
+    owns ``root_core``; because the workload factories are
+    deterministic in ``(benchmark, scale, seed, memory)``, the rebuilt
+    root is identical to the one a serial run would construct.
+
+    Example::
+
+        from repro.parallel import WorkloadSpec
+        spec = WorkloadSpec("quicksort", scale="tiny", seed=0,
+                            memory="shared", root_core=0)
+    """
+
+    benchmark: str
+    scale: str = "small"
+    seed: int = 0
+    memory: str = "shared"
+    root_core: int = 0
+    kwargs: Dict = field(default_factory=dict)
+    #: Optional ``"module:function"`` override: the function is imported
+    #: in the worker and called with ``**kwargs``; it must return an
+    #: object with a ``root`` attribute (e.g. a ``WorkloadRun``).  Used
+    #: by tests and custom experiments whose roots are not registered
+    #: benchmarks.
+    factory: str = ""
+
+    def resolve(self):
+        """Instantiate the workload (a ``WorkloadRun``) in this process."""
+        if self.factory:
+            import importlib
+
+            mod_name, _, fn_name = self.factory.partition(":")
+            fn = getattr(importlib.import_module(mod_name), fn_name)
+            return fn(**self.kwargs)
+        from ..workloads import get_workload
+
+        return get_workload(self.benchmark, scale=self.scale, seed=self.seed,
+                            memory=self.memory, **self.kwargs)
+
+
+def encode_message(msg: Message) -> tuple:
+    """Flatten a boundary-crossing message for the wire.
+
+    The sender's NoC replica already assigned ``arrival`` and counted
+    the message; only data crosses the pipe.  The payload must be
+    picklable — guaranteed for USER messages carrying application data,
+    and the shard fence keeps every other (live-object-carrying) kind
+    inside one worker.
+    """
+    return (msg.kind, msg.src, msg.dst, msg.send_time, msg.size,
+            msg.arrival, msg.payload, msg.tag)
+
+
+def make_edge_channels(mp_ctx, partition) -> List[Dict[int, object]]:
+    """One duplex pipe per adjacent shard pair.
+
+    Returns ``edges`` with ``edges[sid][peer]`` the connection shard
+    ``sid`` uses to talk to ``peer``; the matching end is
+    ``edges[peer][sid]``.
+    """
+    edges: List[Dict[int, object]] = [dict() for _ in range(partition.n_shards)]
+    for a, b in partition.shard_pairs():
+        conn_a, conn_b = mp_ctx.Pipe(duplex=True)
+        edges[a][b] = conn_a
+        edges[b][a] = conn_b
+    return edges

@@ -1,0 +1,336 @@
+"""Shard coordinator: window computation, rescue, stats merge.
+
+The :class:`ShardedMachine` is the sharded backend's counterpart to
+:class:`~repro.core.engine.Machine`.  It spawns one worker process per
+shard (``multiprocessing`` spawn context, so workers are fresh
+interpreters) and drives them through lockstep **coordination rounds**:
+
+1. broadcast ``("go", horizon, adopt, waive)`` — the safe execution
+   window is
+   ``[_, global_min + T)`` under spatial sync (the drift bound makes
+   everything below the horizon independent of work the other shards
+   have not yet simulated), or unbounded for the ``unbounded`` policy;
+   ``adopt`` carries the exact shadow fixpoint computed from the
+   previous round's global state;
+2. workers run, then exchange one boundary batch per topology edge
+   (published virtual times + boundary-crossing USER messages);
+3. workers report ``(progressed, sent, live, min_time, state)``; the
+   coordinator recomputes the horizon from the new global minimum and,
+   under spatial sync, the exact shadow fixpoint from the gathered
+   per-core (active, vtime) state (see
+   :meth:`ShardedMachine._exact_times` for why this runs every round,
+   and why workers adopt it raise-only).
+
+If a round makes no progress while work remains, an escalation ladder
+engages: one *relief round* with an unbounded horizon (the window
+itself can park the only core able to unblock another), then *waiver
+rounds* forcing a slice on the globally-earliest stalled core (see the
+escalation comment in ``_drive``); only a stall surviving a forced
+slice is a genuine deadlock, mirroring the serial engine's diagnostics.
+
+Total live-task count reaching zero ends the run; worker stats are then
+merged (counters sum, per-kind message counts sum, completion virtual
+time is the latest root finish), which is exactly how the serial
+engine's stats decompose for a fenced run — the basis of the
+bit-identity guarantee documented in docs/parallel.md.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..arch.builder import build_topology
+from ..core.errors import SimConfigError, SimDeadlock, SimError
+from ..core.fabric import INF, exact_shadow_fixpoint
+from ..core.stats import SimStats
+from .channels import WorkloadSpec, make_edge_channels
+from .partition import Partition, contiguous_partition
+from .worker import worker_main
+
+#: Scalar SimStats counters merged by summation across workers.
+_SUM_FIELDS = (
+    "actions", "compute_actions", "mem_accesses", "cell_accesses",
+    "remote_cell_accesses", "context_switches", "tasks_started",
+    "tasks_spawned_remote", "tasks_run_inline", "drift_stalls",
+    "lock_waiver_runs", "out_of_order_msgs", "shadow_recomputes",
+)
+
+#: Sync policies the sharded backend supports.  The other policies
+#: arbitrate through *global* referee state (a total event order, a
+#: global quantum, ...) that has no shard-local decomposition.
+_SUPPORTED_SYNC = ("spatial", "unbounded")
+
+
+class ShardedMachine:
+    """Multiprocess execution backend over a fenced configuration.
+
+    Build one via :func:`repro.arch.build_backend` with
+    ``cfg.backend == "sharded"``; run workloads with
+    :meth:`run_workloads`.  Like the serial ``Machine`` it is
+    single-use and exposes merged results on ``stats``.
+
+    Example::
+
+        import dataclasses
+        from repro.arch import build_backend, shared_mesh
+        from repro.parallel import WorkloadSpec
+
+        cfg = dataclasses.replace(shared_mesh(16), shards=2,
+                                  backend="sharded")
+        backend = build_backend(cfg)
+        results = backend.run_workloads(
+            [WorkloadSpec("quicksort", scale="tiny", root_core=0)])
+    """
+
+    def __init__(self, cfg) -> None:
+        if cfg.shards < 1:
+            raise SimConfigError("sharded backend needs shards >= 1")
+        if cfg.sync not in _SUPPORTED_SYNC:
+            raise SimConfigError(
+                f"sharded backend supports sync policies "
+                f"{_SUPPORTED_SYNC}, not {cfg.sync!r} (global-referee "
+                f"policies have no shard-local decomposition)")
+        if cfg.shadow_mode != "fast":
+            raise SimConfigError(
+                "sharded backend requires shadow_mode='fast'; exact "
+                "mode needs a global recompute on every transition")
+        self.cfg = cfg
+        self.partition: Partition = contiguous_partition(
+            build_topology(cfg), cfg.shards)
+        self.stats = SimStats(n_cores=cfg.n_cores)
+        self.rounds = 0
+        self.rescues = 0
+        self.reliefs = 0
+        self.waivers = 0
+        self._ran = False
+
+    # -- public API ------------------------------------------------------
+    def run_workloads(
+        self,
+        specs: Sequence[WorkloadSpec],
+        timeout: Optional[float] = 300.0,
+    ) -> List[object]:
+        """Run the given workload roots to completion; return their results
+        in spec order.
+
+        ``timeout`` bounds each coordination step (per-worker reply
+        wait), not the whole run; ``None`` disables it.
+        """
+        if self._ran:
+            raise SimError(
+                "a ShardedMachine instance is single-use; build a new one")
+        self._ran = True
+        specs = list(specs)
+        for spec in specs:
+            if not 0 <= spec.root_core < self.cfg.n_cores:
+                raise SimConfigError(
+                    f"root core {spec.root_core} out of range")
+        t_start = time.perf_counter()
+        mp_ctx = multiprocessing.get_context("spawn")
+        part = self.partition
+        edges = make_edge_channels(mp_ctx, part)
+        ctrl: List[object] = []
+        workers: List[object] = []
+        try:
+            for sid in range(part.n_shards):
+                parent_conn, child_conn = mp_ctx.Pipe(duplex=True)
+                proc = mp_ctx.Process(
+                    target=worker_main,
+                    args=(sid, self.cfg, specs, edges[sid], child_conn),
+                    name=f"repro-shard-{sid}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                ctrl.append(parent_conn)
+                workers.append(proc)
+            results = self._drive(specs, ctrl, timeout)
+        finally:
+            for proc in workers:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in workers:
+                proc.join(timeout=5.0)
+        self.stats.wall_seconds = time.perf_counter() - t_start
+        return results
+
+    # -- coordination loop ----------------------------------------------
+    def _drive(self, specs, ctrl, timeout) -> List[object]:
+        spatial = self.cfg.sync == "spatial"
+        T = self.cfg.drift_bound
+        n = self.cfg.n_cores
+        part = self.partition
+        topo = build_topology(self.cfg)
+        neighbors = [topo.neighbors(c) for c in range(n)]
+        # Round 1: every core sits at virtual time 0, nothing to adopt.
+        horizon = T if spatial else INF
+        adopts: List[Optional[Dict[int, float]]] = [None] * len(ctrl)
+        # Escalation ladder for a no-progress round (spatial only —
+        # the unbounded policy gates nothing, so its stall is final):
+        #   stall 1 — one *relief round* with an unbounded horizon.  The
+        #             window can park the only core able to unblock a
+        #             below-horizon core: e.g. an in-flight TASK_SPAWN
+        #             pins the spawner's drift floor through the birth
+        #             ledger until the (parked) destination core delivers
+        #             it.  Serial has no horizon, so the deliverer would
+        #             simply run; the relief round restores exactly that
+        #             behaviour, with drift checks against the published
+        #             times still bounding execution locally.
+        #   stall 2 — one *waiver round*: the shard holding the global
+        #             minimum forces one slice on its earliest core,
+        #             drift check bypassed (``run_shard_waiver``).  The
+        #             round-based interleaving can wedge with every core
+        #             legitimately drift-stalled against a recv-blocked
+        #             laggard; serial trajectories sidestep such states,
+        #             and the waiver escapes them at minimal, counted
+        #             accuracy cost.
+        #   stall 3 — even the forced slice produced nothing: genuine
+        #             deadlock (there is no work left to force).
+        stall = 0
+        while True:
+            waive_sid = None
+            if spatial and stall >= 2:
+                waive_sid = min(range(len(ctrl)),
+                                key=lambda i: statuses[i][4])
+                self.waivers += 1
+            for sid, conn in enumerate(ctrl):
+                conn.send(("go", horizon, adopts[sid], sid == waive_sid))
+            statuses = [self._expect(conn, "status", timeout) for conn in ctrl]
+            self.rounds += 1
+            live = sum(s[3] for s in statuses)
+            if live == 0:
+                break
+            progressed = any(s[1] for s in statuses) or any(
+                s[2] for s in statuses)
+            global_min = min(s[4] for s in statuses)
+            if spatial:
+                adopts = self._exact_times(statuses, neighbors, part)
+            if progressed:
+                stall = 0
+            else:
+                stall += 1
+                if global_min == INF or not spatial or stall > 2:
+                    self._deadlock(live, statuses)
+                if stall == 1:
+                    self.reliefs += 1
+            if spatial and stall == 0:
+                horizon = global_min + T
+            else:
+                horizon = INF
+        for conn in ctrl:
+            conn.send(("stop",))
+        return self._finalize(specs, ctrl, timeout)
+
+    def _exact_times(self, statuses, neighbors, part):
+        """Per-round exact shadow fixpoint from the gathered global
+        (active, vtime) state — the sharded analogue of the serial
+        ``refresh_shadows``, run every round rather than only on a
+        no-runnable rescue.
+
+        Fast-mode relax waves are worker-local, so the shadow of an
+        idle region freezes at whatever value it had when the cores
+        that would relax it crossed into another shard — and every
+        core drift-checking against that frozen floor eventually
+        stalls for good.  Recomputing the fixpoint from true global
+        state each round keeps those shadows moving.
+
+        Workers adopt the values *raise-only* (``adopt_shadow`` /
+        ``set_proxy_time``), matching the serial fast mode's monotone
+        published times.  Lowering a published value is never safe
+        here: it is a permission already granted, and cores that ran
+        under it would retroactively sit above their floor by more
+        than the drift bound — a mutually-stalled wedge the serial
+        engine (equally permissive between its rescues) never reaches.
+        The bounded inaccuracy this admits is the same one the serial
+        fast mode admits, and the paper's accuracy figures absorb.
+        """
+        self.rescues += 1
+        n = self.cfg.n_cores
+        active = [False] * n
+        vtime = [0.0] * n
+        for status in statuses:
+            for cid, a, v in status[5]:
+                active[cid] = a
+                vtime[cid] = v
+        pub = exact_shadow_fixpoint(neighbors, active, vtime,
+                                    self.cfg.drift_bound)
+        adopts = []
+        for sid in range(part.n_shards):
+            relevant = dict.fromkeys(part.cores_of(sid), None)
+            relevant.update(dict.fromkeys(part.proxies_of(sid), None))
+            adopts.append({cid: pub[cid] for cid in relevant})
+        return adopts
+
+    def _finalize(self, specs, ctrl, timeout) -> List[object]:
+        results: Dict[int, object] = {}
+        finishes: Dict[int, Optional[float]] = {}
+        worker_stats: List[SimStats] = []
+        for conn in ctrl:
+            reply = self._expect(conn, "done", timeout)
+            worker_stats.append(reply[1])
+            results.update(reply[2])
+            finishes.update(reply[3])
+        missing = [i for i in range(len(specs)) if i not in results]
+        if missing:
+            raise SimError(
+                f"workload specs {missing} produced no result; "
+                f"check their root_core assignments")
+        self._merge_stats(worker_stats, finishes)
+        return [results[i] for i in range(len(specs))]
+
+    def _merge_stats(self, worker_stats, finishes) -> None:
+        merged = self.stats
+        for st in worker_stats:
+            for name in _SUM_FIELDS:
+                setattr(merged, name, getattr(merged, name) + getattr(st, name))
+            merged.messages_by_kind.update(st.messages_by_kind)
+            merged.parallelism_samples.extend(st.parallelism_samples)
+            for cid, busy in st.core_busy_cycles.items():
+                if busy:
+                    merged.core_busy_cycles[cid] = busy
+            for key, value in st.noc.items():
+                if isinstance(value, (int, float)):
+                    merged.noc[key] = merged.noc.get(key, 0) + value
+        if finishes and all(f is not None for f in finishes.values()):
+            merged.completion_vtime = max(finishes.values())
+        else:
+            merged.completion_vtime = max(
+                (st.completion_vtime for st in worker_stats), default=0.0)
+
+    # -- plumbing --------------------------------------------------------
+    def _expect(self, conn, tag: str, timeout):
+        """Receive one worker reply, surfacing worker errors/timeouts."""
+        if timeout is not None and not conn.poll(timeout):
+            raise SimError(
+                f"shard worker did not reply within {timeout}s "
+                f"(waiting for {tag!r})")
+        reply = conn.recv()
+        if reply[0] == "error":
+            _, sid, brief, trace = reply
+            raise SimError(
+                f"shard worker {sid} failed: {brief}\n{trace}")
+        if reply[0] != tag:
+            raise SimError(
+                f"protocol error: expected {tag!r}, got {reply[0]!r}")
+        return reply
+
+    def _deadlock(self, live, statuses) -> None:
+        raise SimDeadlock(
+            f"sharded run cannot make progress: {live} live tasks, "
+            f"no runnable work even in an unbounded relief round",
+            diagnostics={
+                "rounds": self.rounds,
+                "rescues": self.rescues,
+                "reliefs": self.reliefs,
+                "waivers": self.waivers,
+                "per_shard_live": [s[3] for s in statuses],
+                "per_shard_min_time": [s[4] for s in statuses],
+            },
+        )
+
+    def describe(self) -> str:
+        """One-line backend summary (CLI banner)."""
+        return (f"sharded backend: {self.partition.describe()}, "
+                f"sync={self.cfg.sync} T={self.cfg.drift_bound}")

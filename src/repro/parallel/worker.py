@@ -1,0 +1,140 @@
+"""Shard worker process: drives one region of the mesh.
+
+Each worker builds a complete (fenced) machine replica from the shared
+``ArchConfig`` — every core, the full NoC, the full fabric — but only
+*drives* the cores its shard owns (``Machine.set_shard_scope``).  The
+remote cores it is adjacent to act as **boundary proxy cores**: they
+never execute, but the fabric anchors them at the owning worker's
+published virtual times (``set_proxy_time``) so local drift checks and
+relax waves see true values instead of shadowing over them.
+
+The worker is lockstep-driven by the coordinator:
+
+``("go", horizon, adopt, waive)``
+    First apply the coordinator-computed exact shadow fixpoint from the
+    previous round's global state (``adopt``; ``None`` on round 1 and
+    under the unbounded policy): owned idle cores through
+    ``fabric.adopt_shadow``, proxies through ``fabric.set_proxy_time``
+    — both raise-only, matching the serial fast mode's monotone
+    published times; the fixpoint exists to *unfreeze* shadows whose
+    relaxing cores live in another shard, never to revoke permissions
+    already granted.  When ``waive`` is set (coordinator escalation
+    after a stalled relief round), force one slice on the earliest
+    owned core first (``run_shard_waiver``).  Then run owned cores
+    until quiescent, drift-stalled or parked at ``horizon``;
+    exchange one boundary batch with every peer shard (send first, then
+    receive — pipes buffer, so this cannot deadlock); reply with a
+    status tuple that carries the owned cores' (active, vtime) state
+    for the next fixpoint.
+``("stop",)``
+    Finalize stats and reply with results.
+
+Module-level entry point (``worker_main``) so the ``spawn`` start
+method can import it in the child process.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Dict, List
+
+from ..arch.builder import build_machine
+from ..core.errors import ShardBoundaryError
+from ..core.fabric import INF
+from ..core.messages import Message, MsgKind
+from .channels import encode_message
+
+
+def worker_main(sid: int, cfg, specs, edge_conns: Dict[int, object],
+                ctrl_conn) -> None:
+    """Process entry point for shard ``sid``.
+
+    ``edge_conns`` maps peer shard id -> duplex connection;
+    ``ctrl_conn`` is the coordinator control channel.
+    """
+    try:
+        _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn)
+    except BaseException as exc:  # ship the failure to the coordinator
+        try:
+            ctrl_conn.send(("error", sid, repr(exc),
+                            traceback.format_exc()))
+        except Exception:
+            pass
+
+
+def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn) -> None:
+    machine = build_machine(cfg)
+    part = machine.fence
+    owned = part.cores_of(sid)
+    owned_set = set(owned)
+    boundary = part.boundary_of(sid)
+    peers = part.peers_of(sid)  # sorted; iteration order is deterministic
+
+    outbox: List[Message] = []
+
+    def foreign_sink(msg: Message) -> None:
+        if msg.kind is not MsgKind.USER:
+            raise ShardBoundaryError(
+                f"{msg.kind.name} message {msg.src}->{msg.dst} crosses the "
+                f"shard {sid} boundary; run-time protocol messages carry "
+                f"live objects and must stay shard-local (fence hole?)")
+        outbox.append(msg)
+
+    machine.set_shard_scope(owned_set, foreign_sink)
+    machine.begin_run()
+    roots = []  # (spec index, Task)
+    for i, spec in enumerate(specs):
+        if spec.root_core in owned_set:
+            workload = spec.resolve()
+            roots.append((i, machine.seed_root(workload.root, (),
+                                               spec.root_core)))
+
+    fabric = machine.fabric
+    report_state = cfg.sync == "spatial"
+    while True:
+        cmd = ctrl_conn.recv()
+        op = cmd[0]
+        if op == "go":
+            adopt = cmd[2]
+            if adopt:
+                for cid, value in adopt.items():
+                    if value == INF:
+                        continue
+                    if cid in owned_set:
+                        fabric.adopt_shadow(cid, value)
+                    else:
+                        fabric.set_proxy_time(cid, value)
+            progressed = bool(cmd[3]) and machine.run_shard_waiver()
+            progressed = machine.run_shard_round(cmd[1]) or progressed
+            # Boundary batch out: published times of our boundary cores
+            # plus any cross-shard USER messages, grouped by owner.
+            by_peer: Dict[int, list] = {p: [] for p in peers}
+            sent = len(outbox)
+            for msg in outbox:
+                by_peer[part.owner_of(msg.dst)].append(encode_message(msg))
+            outbox.clear()
+            published = {cid: fabric.published[cid] for cid in boundary}
+            for p in peers:
+                edge_conns[p].send((published, by_peer[p]))
+            # Boundary batch in: anchor proxies, then inject messages.
+            # Peers are visited in sorted order and each batch preserves
+            # the sender's emission order, so delivery is deterministic.
+            for p in peers:
+                peer_pub, msgs = edge_conns[p].recv()
+                for cid, value in peer_pub.items():
+                    if value != INF:
+                        fabric.set_proxy_time(cid, value)
+                for fields in msgs:
+                    machine.inject_message(*fields)
+            state = ([(cid, fabric.active[cid], fabric.vtime[cid])
+                      for cid in owned] if report_state else None)
+            ctrl_conn.send(("status", progressed, sent, machine.live_tasks,
+                            machine.shard_min_time(), state))
+        elif op == "stop":
+            machine.finish_run()
+            results = {i: task.result for i, task in roots}
+            finishes = {i: task.finish_time for i, task in roots}
+            ctrl_conn.send(("done", machine.stats, results, finishes))
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise RuntimeError(f"unknown coordinator command {op!r}")

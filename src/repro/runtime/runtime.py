@@ -47,6 +47,10 @@ class Runtime:
         self.steals_attempted = 0
         self.steals_successful = 0
         self.machine = None
+        # Per-core run-time neighbourhood: the full topological
+        # neighbours, or the shard-local subset when the machine is
+        # fenced (see attach()).
+        self._neighbors: List[Tuple[int, ...]] = []
         self._steal_pending: List[bool] = []
         # Occupancy proxies: proxy[c][n] = believed occupancy of neighbour n.
         self._proxy: List[Dict[int, int]] = []
@@ -60,8 +64,24 @@ class Runtime:
     def attach(self, machine) -> None:
         self.machine = machine
         n = machine.n_cores
+        fence = machine.fence
+        if fence is None:
+            self._neighbors = [machine.topo.neighbors(c) for c in range(n)]
+        else:
+            # Shard fencing (ArchConfig.shards > 0): the run-time only
+            # gossips with, dispatches to and steals from same-shard
+            # neighbours, so protocol messages — which carry live Task
+            # and lock objects — never cross a shard boundary.  Applied
+            # on both backends, so fenced serial and sharded runs see
+            # the same run-time behaviour.
+            owner = fence.owner
+            self._neighbors = [
+                tuple(j for j in machine.topo.neighbors(c)
+                      if owner[j] == owner[c])
+                for c in range(n)
+            ]
         self._proxy = [
-            {j: 0 for j in machine.topo.neighbors(c)} for c in range(n)
+            {j: 0 for j in self._neighbors[c]} for c in range(n)
         ]
         self._cursor = [0] * n
         self._last_broadcast = [-1] * n
@@ -182,7 +202,7 @@ class Runtime:
         machine = self.machine
         if at_time is None:
             at_time = machine.now(core)
-        for nbr in machine.topo.neighbors(core.cid):
+        for nbr in self._neighbors[core.cid]:
             machine.send_message_at(
                 MsgKind.QUEUE_STATE, core, nbr, at_time, payload=occupancy
             )

@@ -88,10 +88,17 @@ class DistSpace(DataSpace):
 
     def new(self, ctx, key, data, size=64.0, home=0):
         if ctx is not None:
-            memory = ctx.machine.memory
+            machine = ctx.machine
         else:
             raise ValueError("DistSpace.new requires a task context")
-        return memory.new_cell(data=data, size=size, home=home)
+        fence = machine.fence
+        if fence is not None:
+            # Shard mode: keep the cell's home in the creating core's
+            # region so DATA traffic never crosses a shard boundary
+            # (pure function of (home, creator) — identical placement on
+            # the serial and sharded backends).
+            home = fence.remap_home(home, ctx.core_id)
+        return machine.memory.new_cell(data=data, size=size, home=home)
 
     def read(self, ctx, handle):
         cell = yield ctx.cell(handle, "r")
@@ -122,7 +129,24 @@ def make_space(memory: str) -> DataSpace:
 
 @dataclass
 class WorkloadRun:
-    """One runnable benchmark instance."""
+    """One runnable benchmark instance.
+
+    Produced by :func:`repro.workloads.get_workload`; the triple of
+    root task, output verifier and native reference is what lets the
+    harness check program correctness and normalize simulation time
+    (paper Fig. 7) for every benchmark uniformly.
+
+    Example::
+
+        from repro import build_machine, get_workload
+        from repro.arch import shared_mesh
+
+        w = get_workload("quicksort", scale="tiny", seed=0,
+                         memory="shared")
+        result = build_machine(shared_mesh(16)).run(w.root)
+        w.verify(result["output"])      # raises if the sort is wrong
+        assert result["output"] == w.native()
+    """
 
     name: str
     root: Callable  # root(ctx) generator

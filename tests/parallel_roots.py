@@ -1,0 +1,48 @@
+"""Spawn-importable root factories for the sharded-backend tests.
+
+Worker processes resolve ``WorkloadSpec.factory`` strings like
+``"parallel_roots:pingpong"`` by importing this module, so everything
+here must be importable from a fresh interpreter (the tests directory
+is on ``sys.path`` under pytest and is inherited by spawned children).
+"""
+
+from types import SimpleNamespace
+
+
+def pingpong(peer, rounds=3):
+    """Root that sends tagged pings to ``peer`` and collects replies."""
+
+    def root(ctx):
+        acc = []
+        for i in range(rounds):
+            yield ctx.send(peer, payload=i * 10, tag=("ping", i))
+            msg = yield ctx.recv(tag=("pong", i))
+            acc.append(msg.payload)
+        return acc
+
+    return SimpleNamespace(root=root)
+
+
+def echo(rounds=3):
+    """Root that answers each tagged ping with payload + 1."""
+
+    def root(ctx):
+        for i in range(rounds):
+            msg = yield ctx.recv(tag=("ping", i))
+            yield ctx.send(msg.src, payload=msg.payload + 1,
+                           tag=("pong", i))
+        return "echoed"
+
+    return SimpleNamespace(root=root)
+
+
+def lone_compute(steps=5):
+    """Root that only computes locally (no messaging at all)."""
+
+    def root(ctx):
+        for _ in range(steps):
+            yield ctx.compute(40.0)
+        t = yield ctx.now()
+        return t
+
+    return SimpleNamespace(root=root)

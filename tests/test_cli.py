@@ -90,6 +90,19 @@ class TestRun:
         assert code == 0
         assert "T=500" in text
 
+    def test_sharded_backend(self):
+        code, text = run_cli("run", "quicksort", "--cores", "16",
+                             "--scale", "tiny", "--backend", "sharded",
+                             "--shards", "2")
+        assert code == 0
+        assert "sharded backend: partition 2 shards" in text
+        assert "output verified  : yes" in text
+
+    def test_sharded_backend_requires_shards(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            run_cli("run", "quicksort", "--cores", "16", "--scale", "tiny",
+                    "--backend", "sharded")
+
 
 class TestSweep:
     @pytest.mark.parametrize("figure", ["fig8", "fig9"])
@@ -110,6 +123,27 @@ class TestSweep:
                              "--scale", "tiny")
         assert code == 0
         assert "T=50" in text
+
+
+class TestBench:
+    def test_unknown_only_lists_names_and_fails(self, capsys):
+        code, _ = run_cli("bench", "--only", "engine_steps,bogus",
+                          "--output", "")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "fabric_refresh" in err  # valid names are listed
+
+    def test_empty_only_fails(self, capsys):
+        code, _ = run_cli("bench", "--only", ",", "--output", "")
+        assert code == 2
+        assert "names no benchmarks" in capsys.readouterr().err
+
+    def test_valid_only_subset_runs(self):
+        code, text = run_cli("bench", "--only", "fabric_refresh",
+                             "--quick", "--repeat", "1", "--output", "")
+        assert code == 0
+        assert "fabric_refresh" in text
 
 
 class TestPolicies:

@@ -168,6 +168,132 @@ def test_golden_numbers(run):
     assert got == EXPECTED[key]
 
 
+# -- sharded backend ------------------------------------------------------
+#
+# The sharded backend must produce bit-identical results to the serial
+# engine for the same *fenced* configuration (ArchConfig.shards > 0 is a
+# semantic switch both backends honour; the backend choice is then pure
+# execution strategy).  Bit-identity is guaranteed for shard-closed runs
+# with no drift coupling — hence spatial sync with a large T, and the
+# unbounded policy — where each worker replays exactly the serial host
+# order of its own region.  Both the serial-vs-sharded equality AND the
+# absolute values are pinned, on a 16-core mesh split into 4 shards with
+# one root workload per shard region.
+
+#: (sync policy, drift bound T, memory organization)
+SHARDED_GOLDEN_RUNS = (
+    ("spatial", 1e9, "shared"),
+    ("unbounded", 100.0, "distributed"),
+)
+
+#: One root per shard region of the 4-shard 16-core mesh.
+SHARD_ROOTS = (
+    ("quicksort", 0),
+    ("dijkstra", 4),
+    ("spmxv", 8),
+    ("connected_components", 12),
+)
+
+
+def _sharded_specs(memory):
+    from repro.parallel import WorkloadSpec
+
+    return [
+        WorkloadSpec(bench, scale="tiny", seed=i, memory=memory,
+                     root_core=core)
+        for i, (bench, core) in enumerate(SHARD_ROOTS)
+    ]
+
+
+def _observables(stats):
+    return {
+        "completion_vtime": stats.completion_vtime,
+        "drift_stalls": stats.drift_stalls,
+        "actions": stats.actions,
+        "messages": {
+            kind.value: count
+            for kind, count in sorted(
+                stats.messages_by_kind.items(), key=lambda kv: kv[0].value
+            )
+            if count
+        },
+    }
+
+
+def run_sharded_golden(sync, drift, memory):
+    """Run the fenced config under both backends; return observables."""
+    from repro.arch import build_backend
+    from repro.workloads import get_workload as gw
+
+    base = shared_mesh(16) if memory == "shared" else dist_mesh(16)
+    cfg = dataclasses.replace(base, sync=sync, drift_bound=drift, shards=4)
+    specs = _sharded_specs(memory)
+
+    serial = build_machine(cfg)
+    serial_results = serial.run_roots([
+        (gw(s.benchmark, scale=s.scale, seed=s.seed, memory=s.memory).root,
+         (), s.root_core)
+        for s in specs
+    ])
+
+    sharded = build_backend(dataclasses.replace(cfg, backend="sharded"))
+    sharded_results = sharded.run_workloads(specs)
+
+    return (_observables(serial.stats), _observables(sharded.stats),
+            serial_results, sharded_results)
+
+
+# Captured with the regeneration helper below; both backends produced
+# these exact values at capture time.
+EXPECTED_SHARDED = {
+    "spatial-1000000000.0-shared": {
+        "completion_vtime": 21751.0,
+        "drift_stalls": 0,
+        "actions": 5196,
+        "messages": {
+            "joiner_request": 4,
+            "probe": 285,
+            "probe_ack": 155,
+            "probe_nack": 130,
+            "queue_state": 699,
+            "task_spawn": 155,
+        },
+    },
+    "unbounded-100.0-distributed": {
+        "completion_vtime": 20390.5,
+        "drift_stalls": 0,
+        "actions": 5177,
+        "messages": {
+            "data_request": 1746,
+            "data_response": 1545,
+            "joiner_request": 3,
+            "probe": 370,
+            "probe_ack": 213,
+            "probe_nack": 157,
+            "queue_state": 3041,
+            "task_spawn": 213,
+        },
+    },
+}
+
+
+@pytest.mark.parametrize(
+    "run", SHARDED_GOLDEN_RUNS, ids=lambda r: f"{r[0]}-{r[2]}")
+def test_sharded_backend_bit_identical(run):
+    key = "-".join(map(str, run))
+    assert key in EXPECTED_SHARDED, f"no golden record for {key}; regenerate"
+    serial_obs, sharded_obs, serial_results, sharded_results = (
+        run_sharded_golden(*run))
+    # Bit-identity premise: no drift coupling on either backend.
+    assert serial_obs["drift_stalls"] == 0
+    assert sharded_obs["drift_stalls"] == 0
+    # The two backends agree exactly ...
+    assert sharded_obs == serial_obs
+    assert sharded_results == serial_results
+    # ... and with the pinned absolute values.
+    assert serial_obs == EXPECTED_SHARDED[key]
+
+
 if __name__ == "__main__":  # golden regeneration helper
     import pprint
 
@@ -175,3 +301,10 @@ if __name__ == "__main__":  # golden regeneration helper
     for run in GOLDEN_RUNS:
         table["-".join(map(str, run))] = run_golden(*run)
     pprint.pprint(table, sort_dicts=True)
+    sharded_table = {}
+    for run in SHARDED_GOLDEN_RUNS:
+        key = "-".join(map(str, run))
+        serial_obs, sharded_obs, _, _ = run_sharded_golden(*run)
+        assert serial_obs == sharded_obs, f"{key}: backends disagree"
+        sharded_table[key] = serial_obs
+    pprint.pprint(sharded_table, sort_dicts=True)

@@ -1,0 +1,298 @@
+"""Tests for the sharded execution backend (repro.parallel).
+
+Process-spawning tests use tiny configurations (2 shards, 8-16 cores)
+to keep worker start-up cost bounded; the full 4-shard bit-identity
+matrix lives in test_golden_numbers.py.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ArchConfig, build_backend, build_machine, shared_mesh
+from repro.core.errors import SimConfigError, SimError
+from repro.core.fabric import VirtualTimeFabric, exact_shadow_fixpoint
+from repro.core.messages import MsgKind
+from repro.network.topology import Topology, square_mesh
+from repro.parallel import Partition, ShardedMachine, WorkloadSpec, contiguous_partition
+from repro.workloads import get_workload
+
+
+# -- partitioning ---------------------------------------------------------
+
+def test_partition_balanced_contiguous():
+    part = contiguous_partition(square_mesh(16), 4)
+    assert part.n_shards == 4
+    assert part.shards == ((0, 1, 2, 3), (4, 5, 6, 7),
+                           (8, 9, 10, 11), (12, 13, 14, 15))
+    assert part.owner_of(0) == 0 and part.owner_of(15) == 3
+    # Uneven split: sizes differ by at most one.
+    part = contiguous_partition(square_mesh(16), 3)
+    sizes = sorted(len(s) for s in part.shards)
+    assert sum(sizes) == 16 and sizes[-1] - sizes[0] <= 1
+
+
+def test_partition_boundary_structure():
+    # 4x4 row-major mesh, 4 shards = 4 rows.
+    part = contiguous_partition(square_mesh(16), 4)
+    assert part.boundary_of(0) == (0, 1, 2, 3)
+    assert part.proxies_of(0) == (4, 5, 6, 7)
+    assert part.peers_of(0) == (1,)
+    assert part.peers_of(1) == (0, 2)
+    assert part.shard_pairs() == [(0, 1), (1, 2), (2, 3)]
+
+
+def test_partition_disconnected_shard_raises():
+    # 0-2 and 1-3 are connected, but {0, 1} has no internal edge.
+    topo = Topology(4, name="zigzag")
+    topo.add_link(0, 2)
+    topo.add_link(1, 3)
+    topo.add_link(2, 3)
+    with pytest.raises(SimConfigError, match="disconnected"):
+        contiguous_partition(topo, 2)
+
+
+def test_partition_shard_count_validation():
+    topo = square_mesh(16)
+    with pytest.raises(SimConfigError):
+        contiguous_partition(topo, 0)
+    with pytest.raises(SimConfigError):
+        contiguous_partition(topo, 17)
+
+
+def test_remap_home_stays_in_creator_shard():
+    part = contiguous_partition(square_mesh(16), 4)
+    for creator in (0, 5, 10, 15):
+        shard = part.owner_of(creator)
+        for home in range(40):
+            assert part.owner_of(part.remap_home(home, creator)) == shard
+    # Spread survives: different homes map to different in-shard cores.
+    assert len({part.remap_home(h, 0) for h in range(4)}) == 4
+
+
+# -- config / builder wiring ---------------------------------------------
+
+def test_config_validates_backend_and_shards():
+    with pytest.raises(SimConfigError):
+        ArchConfig(backend="threads")
+    with pytest.raises(SimConfigError):
+        ArchConfig(n_cores=8, shards=9)
+    with pytest.raises(SimConfigError):
+        ArchConfig(backend="sharded", shards=0)
+
+
+def test_builder_attaches_fence():
+    cfg = dataclasses.replace(shared_mesh(16), shards=4)
+    machine = build_machine(cfg)
+    assert isinstance(machine.fence, Partition)
+    assert machine.fence.n_shards == 4
+    assert build_machine(shared_mesh(16)).fence is None
+
+
+def test_sharded_machine_rejects_global_referee_policies():
+    for sync in ("conservative", "quantum", "bounded_slack", "laxp2p"):
+        cfg = dataclasses.replace(shared_mesh(16), shards=2,
+                                  backend="sharded", sync=sync)
+        with pytest.raises(SimConfigError, match="sync"):
+            ShardedMachine(cfg)
+    cfg = dataclasses.replace(shared_mesh(16), shards=2, backend="sharded",
+                              shadow_mode="exact")
+    with pytest.raises(SimConfigError, match="shadow_mode"):
+        ShardedMachine(cfg)
+
+
+# -- fence semantics (serial backend, in-process) -------------------------
+
+def _run_scoped(cfg, roots, owned):
+    """Serial run with a shard scope installed; returns captured
+    foreign messages."""
+    machine = build_machine(cfg)
+    captured = []
+    machine.set_shard_scope(owned, captured.append)
+    machine.run_roots(roots)
+    return machine, captured
+
+
+def test_fenced_run_is_shard_closed():
+    # A fenced workload rooted in shard 0 must never emit a message
+    # that leaves shard 0 — the foreign sink stays untouched.
+    cfg = dataclasses.replace(shared_mesh(16), shards=4)
+    workload = get_workload("quicksort", scale="tiny", seed=0,
+                            memory="shared")
+    machine, captured = _run_scoped(
+        cfg, [(workload.root, (), 0)], owned=range(4))
+    assert captured == []
+    assert machine.stats.tasks_started > 1  # parallelism stayed in-shard
+
+
+def test_foreign_sink_receives_cross_shard_user_messages():
+    cfg = dataclasses.replace(shared_mesh(16), shards=4)
+
+    def chatter(ctx):
+        yield ctx.send(9, payload="hi", tag="x")  # shard 2
+        return "sent"
+
+    machine, captured = _run_scoped(cfg, [(chatter, (), 0)], owned=range(4))
+    assert [(m.kind, m.dst, m.payload) for m in captured] == [
+        (MsgKind.USER, 9, "hi")]
+    assert machine.stats.messages_by_kind[MsgKind.USER] == 1  # sender counts
+
+
+def test_fenced_distributed_cells_stay_in_shard():
+    from repro.workloads.base import DistSpace
+
+    cfg = dataclasses.replace(shared_mesh(16), memory="distributed",
+                              shards=4)
+    machine = build_machine(dataclasses.replace(cfg))
+    owners = []
+
+    def creator(ctx):
+        space = DistSpace()
+        for i in range(8):
+            handle = space.new(ctx, i, data=i, home=i)  # raw homes 0..7
+            owners.append(handle.owner)
+        yield ctx.compute(1.0)
+        return None
+
+    machine.run_roots([(creator, (), 5)])  # core 5 lives in shard 1
+    fence = machine.fence
+    assert owners and all(fence.owner_of(o) == 1 for o in owners)
+
+
+# -- fabric proxy anchoring ----------------------------------------------
+
+def test_set_proxy_time_anchors_and_is_monotone():
+    fabric = VirtualTimeFabric(square_mesh(16), drift_bound=10.0)
+    fabric.set_proxy_time(5, 100.0)
+    assert fabric.active[5] and fabric.published[5] == 100.0
+    fabric.set_proxy_time(5, 50.0)  # stale update: ignored
+    assert fabric.published[5] == 100.0
+    fabric.set_proxy_time(5, 150.0)
+    assert fabric.published[5] == 150.0 and fabric.vtime[5] == 150.0
+
+
+def test_adopt_shadow_skips_active_cores():
+    fabric = VirtualTimeFabric(square_mesh(16), drift_bound=10.0)
+    fabric.set_active(3, 42.0)
+    fabric.adopt_shadow(3, 500.0)
+    assert fabric.published[3] == 42.0
+    fabric.adopt_shadow(7, 60.0)
+    assert fabric.published[7] == 60.0 and not fabric.active[7]
+    fabric.adopt_shadow(7, 30.0)  # raise-only: stale value ignored
+    assert fabric.published[7] == 60.0
+
+
+def test_run_shard_waiver_runs_despite_drift():
+    # Anchor core 0's neighbour at virtual time 0 with a tiny drift
+    # bound: the lone compute task on core 0 stalls almost immediately,
+    # a plain round cannot move it, and the waiver forces it anyway.
+    cfg = dataclasses.replace(shared_mesh(16), sync="spatial",
+                              drift_bound=1.0)
+    machine = build_machine(cfg)
+    machine.set_shard_scope({0}, lambda msg: None)
+    machine.begin_run()
+
+    def crunch(ctx):
+        for _ in range(50):
+            yield ctx.compute(1.0)
+        return "done"
+
+    machine.seed_root(crunch, (), 0)
+    machine.fabric.set_proxy_time(1, 0.0)
+    machine.run_shard_round()
+    stalled_at = machine.fabric.vtime[0]
+    assert machine.stats.drift_stalls > 0
+    assert not machine.run_shard_round()  # wedged without the waiver
+    assert machine.run_shard_waiver()
+    assert machine.fabric.vtime[0] > stalled_at
+    assert machine.stats.lock_waiver_runs == 1
+
+
+def test_exact_fixpoint_matches_fabric_recompute():
+    topo = square_mesh(16)
+    fabric = VirtualTimeFabric(topo, drift_bound=7.0, shadow_mode="exact")
+    for cid, t in ((0, 12.0), (5, 30.0), (15, 4.0)):
+        fabric.set_active(cid, t)
+    fabric.refresh_shadows()
+    standalone = exact_shadow_fixpoint(
+        [topo.neighbors(c) for c in range(16)],
+        fabric.active, fabric.vtime, 7.0)
+    assert standalone == fabric.published
+
+
+# -- sharded backend end to end ------------------------------------------
+
+def _sharded_cfg(**over):
+    cfg = dataclasses.replace(shared_mesh(16), shards=2, backend="sharded")
+    return dataclasses.replace(cfg, **over)
+
+
+def test_sharded_matches_serial_end_to_end():
+    cfg = _sharded_cfg(sync="unbounded")
+    spec = WorkloadSpec("quicksort", scale="tiny", seed=0, memory="shared",
+                        root_core=0)
+    serial = build_machine(dataclasses.replace(cfg, backend="serial"))
+    workload = get_workload("quicksort", scale="tiny", seed=0,
+                            memory="shared")
+    serial_result = serial.run(workload.root)
+
+    backend = build_backend(cfg)
+    (sharded_result,) = backend.run_workloads([spec])
+    workload.verify(sharded_result["output"])
+    assert sharded_result == serial_result
+    assert backend.stats.completion_vtime == serial.stats.completion_vtime
+    assert backend.stats.messages_by_kind == serial.stats.messages_by_kind
+
+
+def test_sharded_cross_shard_pingpong():
+    backend = build_backend(_sharded_cfg())
+    specs = [
+        WorkloadSpec("", root_core=0, factory="parallel_roots:pingpong",
+                     kwargs={"peer": 12, "rounds": 3}),
+        WorkloadSpec("", root_core=12, factory="parallel_roots:echo",
+                     kwargs={"rounds": 3}),
+    ]
+    results = backend.run_workloads(specs)
+    assert results == [[1, 11, 21], "echoed"]
+    assert backend.stats.messages_by_kind[MsgKind.USER] == 6
+
+
+def test_sharded_runs_are_deterministic():
+    def once():
+        backend = build_backend(_sharded_cfg())
+        specs = [
+            WorkloadSpec("dijkstra", scale="tiny", seed=2, memory="shared",
+                         root_core=0),
+            WorkloadSpec("", root_core=12,
+                         factory="parallel_roots:lone_compute",
+                         kwargs={"steps": 4}),
+        ]
+        results = backend.run_workloads(specs)
+        return results, backend.stats.completion_vtime, \
+            dict(backend.stats.messages_by_kind)
+
+    assert once() == once()
+
+
+def test_sharded_machine_is_single_use():
+    backend = build_backend(_sharded_cfg())
+    spec = WorkloadSpec("spmxv", scale="tiny", root_core=0)
+    backend.run_workloads([spec])
+    with pytest.raises(SimError, match="single-use"):
+        backend.run_workloads([spec])
+
+
+def test_sharded_rejects_out_of_range_root():
+    backend = build_backend(_sharded_cfg())
+    with pytest.raises(SimConfigError, match="root core"):
+        backend.run_workloads([WorkloadSpec("spmxv", root_core=99)])
+
+
+def test_workload_spec_factory_resolution():
+    spec = WorkloadSpec("", factory="parallel_roots:lone_compute",
+                        kwargs={"steps": 2})
+    assert callable(spec.resolve().root)
+    spec = WorkloadSpec("spmxv", scale="tiny")
+    assert callable(spec.resolve().root)
