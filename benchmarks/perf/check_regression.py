@@ -8,7 +8,13 @@ percentages; the check is meant to catch order-of-magnitude mistakes
 (an accidentally disabled cache, quadratic scan reintroduced), not 5 %
 drifts.
 
-Exit codes: 0 ok, 1 regression, 2 missing/invalid record.
+Benchmarks present in the fresh results but absent from the baseline
+(new suite entries whose record has not been regenerated yet) are
+skipped with a notice — they cannot gate until a baseline exists.  On
+failure, the per-benchmark deltas are repeated on stderr so CI logs
+show *which* entries moved and by how much without scrolling back.
+
+Exit codes: 0 ok, 1 regression, 2 missing/invalid record or bad args.
 """
 
 import argparse
@@ -21,6 +27,7 @@ sys.path.insert(
 from repro.harness.perfbench import (  # noqa: E402
     BENCH_FILE,
     REGRESSION_TOLERANCE,
+    SUITE,
     load_record,
     run_suite,
 )
@@ -41,35 +48,59 @@ def main(argv=None) -> int:
         help="allowed fractional regression (default %(default)s)")
     parser.add_argument("--quick", action="store_true",
                         help="shrunken problem sizes (smoke mode; rates "
-                             "are not comparable to a full-size record)")
+                             "are not comparable to a full-size record — "
+                             "combine with a quick-mode record or a wide "
+                             "--tolerance)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated subset of benchmark names "
+                             "to run and gate on (e.g. the micro "
+                             "benchmarks for a CI smoke job)")
     args = parser.parse_args(argv)
+
+    only = None
+    if args.only is not None:
+        only = tuple(x.strip() for x in args.only.split(",") if x.strip())
+        unknown = [n for n in only if n not in SUITE]
+        if not only or unknown:
+            print(f"error: --only {args.only!r} "
+                  + (f"names unknown benchmarks {unknown}; " if unknown
+                     else "names no benchmarks; ")
+                  + f"choose from {sorted(SUITE)}", file=sys.stderr)
+            return 2
 
     record = load_record(args.record)
     if not record or "results" not in record:
         print(f"error: no benchmark record at {args.record}", file=sys.stderr)
         return 2
+    baseline = record["results"]
 
-    fresh = run_suite(repeat=args.repeat, quick=args.quick, out=sys.stdout)
+    fresh = run_suite(repeat=args.repeat, quick=args.quick, only=only,
+                      out=sys.stdout)
 
-    failed = []
-    for name, base in sorted(record["results"].items()):
-        base_rate = base.get("events_per_sec")
-        now = fresh.get(name)
-        if not base_rate or now is None:
+    failed = []  # (name, base_rate, rate, ratio)
+    for name, now in sorted(fresh.items()):
+        base = baseline.get(name)
+        base_rate = base.get("events_per_sec") if base else None
+        if not base_rate:
+            print(f"  {name:34s} skipped: no baseline in "
+                  f"{os.path.basename(args.record)} (new benchmark? "
+                  f"regenerate the record to gate it)")
             continue
         rate = now["events_per_sec"]
         ratio = rate / base_rate
         status = "ok"
         if ratio < 1.0 - args.tolerance:
             status = "REGRESSED"
-            failed.append(name)
+            failed.append((name, base_rate, rate, ratio))
         print(f"  {name:34s} {base_rate:>12.0f} -> {rate:>12.0f} ev/s "
               f"({ratio:5.2f}x)  {status}")
 
     if failed:
-        print(f"\nregression in: {', '.join(failed)} "
-              f"(>{args.tolerance:.0%} below {os.path.basename(args.record)})",
-              file=sys.stderr)
+        print(f"\nregression beyond {args.tolerance:.0%} tolerance vs "
+              f"{os.path.basename(args.record)}:", file=sys.stderr)
+        for name, base_rate, rate, ratio in failed:
+            print(f"  {name}: {(1.0 - ratio):.1%} below baseline "
+                  f"({base_rate:.0f} -> {rate:.0f} ev/s)", file=sys.stderr)
         return 1
     print("\nno regression beyond tolerance")
     return 0

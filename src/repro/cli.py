@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="partition the mesh into N contiguous shards "
                           "(fences dispatch/steal to stay in-shard; "
                           "required for --backend sharded)")
+    run.add_argument("--window-max", type=float, default=None,
+                     metavar="FACTOR",
+                     help="sharded backend: cap on the adaptive drift-"
+                          "window multiplier (1 disables widening; "
+                          "default 64)")
+    run.add_argument("--round-batch", type=int, default=None, metavar="N",
+                     help="sharded backend: max engine sub-rounds a worker "
+                          "runs per coordination round (default 16)")
 
     sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
     sweep.add_argument("figure", choices=SWEEPS)
@@ -166,9 +174,17 @@ def _make_config(args):
     if args.backend == "sharded" and args.shards < 1:
         raise SystemExit("--backend sharded requires --shards N "
                          "(e.g. --shards 4)")
+    overrides = {}
+    if getattr(args, "window_max", None) is not None:
+        overrides["window_max_factor"] = args.window_max
+        if args.window_max <= 1.0:
+            overrides["adaptive_window"] = False
+    if getattr(args, "round_batch", None) is not None:
+        overrides["round_batch"] = args.round_batch
     return dataclasses.replace(
         cfg, drift_bound=args.drift, sync=args.sync, dispatch=args.dispatch,
         seed=args.seed, backend=args.backend, shards=args.shards,
+        **overrides,
     )
 
 
@@ -199,6 +215,14 @@ def _cmd_run(args, out) -> int:
     print(f"messages         : {stats.total_messages}", file=out)
     print(f"drift stalls     : {stats.drift_stalls}", file=out)
     print(f"host wall        : {stats.wall_seconds:.3f} s", file=out)
+    if cfg.backend == "sharded":
+        proto = backend.protocol
+        print(f"sync rounds      : {proto['rounds']} "
+              f"({proto['waivers']} waivers, window peak "
+              f"x{proto['window_peak']:g})", file=out)
+        print(f"boundary bytes   : {proto['bytes_shipped']}", file=out)
+        print(f"parallel eff.    : {proto['parallel_efficiency']:.1%}",
+              file=out)
     if args.baseline:
         base_cfg = dataclasses.replace(cfg, n_cores=1, polymorphic=False,
                                        topology="mesh", name="single-core",

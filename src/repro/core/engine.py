@@ -37,7 +37,7 @@ from .actions import (
 )
 from .coreunit import CoreUnit
 from .errors import SimConfigError, SimDeadlock, SimError, TaskError
-from .fabric import VirtualTimeFabric
+from .fabric import VirtualTimeFabric, exact_shadow_fixpoint
 from .messages import DEFAULT_SIZES, Message, MsgKind
 from .stats import SimStats, WallTimer
 from .sync import SyncPolicy
@@ -49,6 +49,10 @@ from ..timing.branch import BranchPredictorModel
 from ..timing.isa import CostTable, default_cost_table
 
 INF = math.inf
+
+#: Effectively-unbounded slice budget used by the sharded fast-forward
+#: (the window horizon, not the action count, terminates the fused run).
+_BOOST_BUDGET = 1 << 30
 
 
 @dataclass
@@ -236,6 +240,10 @@ class Machine:
         self._foreign_sink: Optional[Callable[[Message], None]] = None
         self._horizon: float = INF
         self._window_parked: set = set()
+        #: Induced-subgraph adjacency for the worker-local scoped shadow
+        #: fixpoint (owned cores + their boundary proxies); built by
+        #: set_shard_scope, used by refresh_shard_shadows.
+        self._scope_neighbors: Optional[List[tuple]] = None
 
         # Hot-path dispatch caching: policy capability flags and hooks are
         # resolved once here instead of per-slice getattr lookups, and the
@@ -390,6 +398,14 @@ class Machine:
         """
         self._owned = set(owned)
         self._foreign_sink = foreign_sink
+        members = set(self._owned)
+        for cid in self._owned:
+            members.update(self._neighbor_cache[cid])
+        self._scope_neighbors = [
+            tuple(j for j in self._neighbor_cache[c] if j in members)
+            if c in members else ()
+            for c in range(self.n_cores)
+        ]
 
     def run_shard_round(self, horizon: float = INF) -> bool:
         """Drive the owned cores until quiescent, drift-stalled or parked
@@ -453,6 +469,39 @@ class Machine:
         if core.has_work():
             self._make_ready(core)
         return progressed
+
+    def refresh_shard_shadows(self) -> bool:
+        """Worker-local exact shadow fixpoint over the shard's induced
+        subgraph (owned cores plus their boundary proxies); returns
+        whether any owned idle shadow rose.
+
+        Run between the sub-rounds of a worker-side round batch: the
+        coordinator's *global* fixpoint only lands at round barriers, so
+        a multi-round batch would otherwise stall against shadows frozen
+        mid-batch.  The scoped fixpoint treats anchored proxies as
+        active sources at their anchor values.  Every path from a remote
+        active core into the owned region crosses a proxy, and proxy
+        anchors are monotone snapshots of (at most window-lifted) remote
+        published times — so the scoped result never exceeds the global
+        fixpoint computed under the same window lift, and adopting it
+        raise-only is exactly as safe as adopting the coordinator's.
+        """
+        fabric = self.fabric
+        if not fabric.shadow_enabled or self._owned is None:
+            return False
+        pub = exact_shadow_fixpoint(self._scope_neighbors, fabric.active,
+                                    fabric.vtime, fabric.T)
+        published = fabric.published
+        raised = False
+        for cid in self._owned:
+            value = pub[cid]
+            if value == INF or fabric.active[cid]:
+                continue
+            old = published[cid]
+            if math.isinf(old) or value > old:
+                fabric.adopt_shadow(cid, value)
+                raised = True
+        return raised
 
     def _core_next_time(self, core: CoreUnit) -> float:
         """Earliest virtual time at which the core can actually execute
@@ -619,6 +668,15 @@ class Machine:
         horizon = self._horizon
         vtimes = self.fabric.vtime
         pops = 0
+        # Decoupled-phase fast-forward (sharded backend only): when the
+        # popped core is provably the shard's sole runnable core (ready
+        # ring and stalled set both empty, no sampling to perturb), its
+        # fused pure-compute run may extend past the slice budget all
+        # the way to the window horizon with a single fabric.commit —
+        # any other host order would run the exact same actions in the
+        # exact same virtual order, so this is order-equivalent, and
+        # serial runs (horizon INF, _owned None) never take the path.
+        boostable = self._owned is not None and interval is None
         while ready:
             core = ready.popleft()
             core.in_ready = False
@@ -647,7 +705,8 @@ class Machine:
                 continue
             # _run_slice performs the drift check itself (it must also apply
             # the reception exemption for inbox work on stalled cores).
-            if self._run_slice(core):
+            boost = boostable and not ready and not self._stalled
+            if self._run_slice(core, boost):
                 progressed = True
         return progressed
 
@@ -721,8 +780,15 @@ class Machine:
             self._go_idle(core)
         return progressed
 
-    def _run_slice(self, core: CoreUnit) -> bool:
-        """Run one core until it blocks, stalls, idles or exhausts its slice."""
+    def _run_slice(self, core: CoreUnit, boost: bool = False) -> bool:
+        """Run one core until it blocks, stalls, idles or exhausts its slice.
+
+        ``boost`` (sharded fast-forward) lifts the slice budget for
+        *fused pure-compute* runs up to the window horizon; it is only
+        ever passed when this core is the shard's sole runnable core,
+        and is re-validated before each boosted step (message handlers
+        run inside the slice may have readied another core).
+        """
         if self._ordered_units:
             return self._run_ordered_slice(core)
         policy = self.policy
@@ -756,7 +822,14 @@ class Machine:
                 progressed = True
                 continue
             if core.current is not None:
-                budget -= self._step_task(core, budget)
+                if (boost and not core.inbox and not self._ready
+                        and self.fabric.vtime[core.cid] < self._horizon):
+                    # Sole runnable core: let a fused pure-compute run
+                    # go all the way to the window horizon in one step.
+                    budget -= self._step_task(core, _BOOST_BUDGET,
+                                              self._horizon)
+                else:
+                    budget -= self._step_task(core, budget)
                 progressed = True
                 continue
             if core.queue:
@@ -1020,7 +1093,8 @@ class Machine:
         if hook is not None:
             hook(core)
 
-    def _step_task(self, core: CoreUnit, budget: int = 1) -> int:
+    def _step_task(self, core: CoreUnit, budget: int = 1,
+                   cap: float = INF) -> int:
         """Execute the current task's next action(s); return actions consumed.
 
         Runs of consecutive pure-compute actions are fused: their costs
@@ -1029,7 +1103,10 @@ class Machine:
         advance, skipping the per-action publish/relax machinery whose
         intermediate states are unobservable — nothing else executes
         between two actions of one host slice.  Fusion never exceeds
-        ``budget``, so slice accounting is unchanged.
+        ``budget``, so slice accounting is unchanged.  ``cap`` (the
+        sharded fast-forward's window horizon) additionally ends a fused
+        run once the core's virtual time reaches it; serial callers
+        leave it at INF.
         """
         task = core.current
         gen = task.gen
@@ -1087,9 +1164,11 @@ class Machine:
                     if on_adv is not None:
                         on_adv(core)
                 # Stop before pulling an action the unfused loop would not
-                # have reached: budget exhausted or drift check fails (the
-                # outer loop then re-checks and stalls, exactly as before).
-                if consumed >= budget or not may_run(core):
+                # have reached: budget exhausted, horizon cap hit, or
+                # drift check fails (the outer loop then re-checks and
+                # stalls or parks, exactly as before).
+                if (consumed >= budget or vtimes[cid] >= cap
+                        or not may_run(core)):
                     break
                 try:
                     action = gen.send(None)

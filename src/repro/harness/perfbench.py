@@ -193,13 +193,16 @@ def _bench_e2e_sharded(n_cores: int = 64, shards: int = 4,
     """The sharded backend on a fenced 64-core machine, one root per
     shard region (the backend's intended load shape).
 
-    Wall time includes worker start-up (spawned interpreters), so on a
-    single-CPU host this entry honestly records the coordination
-    overhead; a >1x speedup over the equivalent fenced serial run needs
-    real parallel hardware.  The record's ``host_cpus`` field captures
-    which regime a committed number came from.  Event counts are the
-    merged per-worker stats and are deterministic, like every other
-    entry.
+    Wall time includes worker start-up (forked children where the
+    platform allows, else spawned interpreters), so on a single-CPU
+    host this entry honestly records the coordination overhead; a >1x
+    speedup over the equivalent fenced serial run needs real parallel
+    hardware.  The record's ``host_cpus`` field captures which regime a
+    committed number came from, and the round-protocol counters riding
+    along in the result (rounds, waivers, bytes shipped,
+    ``parallel_efficiency``) explain where the wall time went.  Event
+    counts are the merged per-worker stats and are deterministic, like
+    every other entry.
     """
     import dataclasses
 
@@ -219,7 +222,20 @@ def _bench_e2e_sharded(n_cores: int = 64, shards: int = 4,
     backend.run_workloads(specs)
     wall = time.perf_counter() - t0
     events = backend.stats.actions + backend.stats.total_messages
-    return {"wall_s": wall, "events": events}
+    proto = backend.protocol
+    # Round-protocol counters ride along in the record so BENCH
+    # trajectories explain *why* this number moved (fewer rounds?
+    # cheaper rounds? more parallel hardware?).
+    return {
+        "wall_s": wall,
+        "events": events,
+        "rounds": proto["rounds"],
+        "waivers": proto["waivers"],
+        "window_peak": proto["window_peak"],
+        "bytes_shipped": proto["bytes_shipped"],
+        "bytes_by_edge": proto["bytes_by_edge"],
+        "parallel_efficiency": proto["parallel_efficiency"],
+    }
 
 
 #: Benchmark registry: name -> (callable, quick-mode kwargs).
@@ -293,6 +309,15 @@ def run_suite(
                 f"{best['events_per_sec']:>12.0f} events/s",
                 file=out,
             )
+            if "rounds" in best:  # sharded entries explain their number
+                print(
+                    f"  {'':34s} rounds={best['rounds']} "
+                    f"waivers={best['waivers']} "
+                    f"window_peak=x{best['window_peak']:g} "
+                    f"bytes={best['bytes_shipped']} "
+                    f"par_eff={best['parallel_efficiency']:.1%}",
+                    file=out,
+                )
     return results
 
 

@@ -2,24 +2,41 @@
 
 The :class:`ShardedMachine` is the sharded backend's counterpart to
 :class:`~repro.core.engine.Machine`.  It spawns one worker process per
-shard (``multiprocessing`` spawn context, so workers are fresh
-interpreters) and drives them through lockstep **coordination rounds**:
+shard (``fork`` where the host supports it — workers inherit the
+parent's imports instead of booting fresh interpreters — else
+``spawn``; see ``ArchConfig.worker_start_method``) and drives them
+through lockstep **coordination rounds** over a
+:class:`~repro.parallel.channels.SharedRoundBoard`:
 
-1. broadcast ``("go", horizon, adopt, waive)`` — the safe execution
-   window is
-   ``[_, global_min + T)`` under spatial sync (the drift bound makes
-   everything below the horizon independent of work the other shards
-   have not yet simulated), or unbounded for the ``unbounded`` policy;
-   ``adopt`` carries the exact shadow fixpoint computed from the
-   previous round's global state;
-2. workers run, then exchange one boundary batch per topology edge
-   (published virtual times + boundary-crossing USER messages);
-3. workers report ``(progressed, sent, live, min_time, state)``; the
-   coordinator recomputes the horizon from the new global minimum and,
-   under spatial sync, the exact shadow fixpoint from the gathered
-   per-core (active, vtime) state (see
-   :meth:`ShardedMachine._exact_times` for why this runs every round,
-   and why workers adopt it raise-only).
+1. broadcast ``("go", horizon, lift, waive)`` — the safe execution
+   window is ``[_, global_min + window * T)`` under spatial sync (the
+   drift bound makes everything below the horizon independent of work
+   the other shards have not yet simulated), or unbounded for the
+   ``unbounded`` policy; the exact shadow fixpoint computed from the
+   previous round's global state sits in the board's adopt plane, and
+   ``lift = (window - 1) * T`` is the extra drift permission the
+   adaptive window grants (see below);
+2. workers adopt/anchor from the board, drain last round's
+   cross-shard USER-message batches, run up to ``cfg.round_batch``
+   engine sub-rounds locally (stopping at the first boundary-crossing
+   message), then publish boundary times and their (active, vtime)
+   snapshot back to the board;
+3. workers report a slim ``(progressed, sent, live, min_time)``
+   status; the coordinator recomputes the horizon from the new global
+   minimum and, under spatial sync, refreshes the adopt plane from the
+   board's gathered state (see :meth:`ShardedMachine._refresh_adopt_plane`
+   for why this runs every round, and why workers adopt it raise-only).
+
+**Adaptive windows** (``cfg.adaptive_window``): while rounds ship no
+cross-shard messages, the window multiplier doubles (up to
+``cfg.window_max_factor``) and collapses back to 1 on the first
+traffic burst — quiet regions synchronize every ``window * T`` cycles
+instead of every ``T``.  The matching ``lift`` raises boundary
+permissions by the same margin, so the extra drift this admits is
+bounded by ``window_max_factor * T`` and only ever *relaxes*
+scheduling: virtual times of shard-closed fenced runs are unaffected,
+which is why bit-identity with serial is preserved (docs/parallel.md
+has the full argument).
 
 If a round makes no progress while work remains, an escalation ladder
 engages: one *relief round* with an unbounded horizon (the window
@@ -32,12 +49,15 @@ Total live-task count reaching zero ends the run; worker stats are then
 merged (counters sum, per-kind message counts sum, completion virtual
 time is the latest root finish), which is exactly how the serial
 engine's stats decompose for a fenced run — the basis of the
-bit-identity guarantee documented in docs/parallel.md.
+bit-identity guarantee documented in docs/parallel.md.  Round-protocol
+counters land in :attr:`ShardedMachine.protocol` so benchmark records
+can explain *why* a number moved.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -45,7 +65,8 @@ from ..arch.builder import build_topology
 from ..core.errors import SimConfigError, SimDeadlock, SimError
 from ..core.fabric import INF, exact_shadow_fixpoint
 from ..core.stats import SimStats
-from .channels import WorkloadSpec, make_edge_channels
+from .channels import (SharedRoundBoard, WorkloadSpec, make_edge_channels,
+                       resolve_start_method)
 from .partition import Partition, contiguous_partition
 from .worker import worker_main
 
@@ -69,7 +90,8 @@ class ShardedMachine:
     Build one via :func:`repro.arch.build_backend` with
     ``cfg.backend == "sharded"``; run workloads with
     :meth:`run_workloads`.  Like the serial ``Machine`` it is
-    single-use and exposes merged results on ``stats``.
+    single-use and exposes merged results on ``stats`` and round
+    protocol counters on ``protocol``.
 
     Example::
 
@@ -104,6 +126,16 @@ class ShardedMachine:
         self.rescues = 0
         self.reliefs = 0
         self.waivers = 0
+        self.window_peak = 1.0
+        #: Round-protocol counters, populated by :meth:`run_workloads`:
+        #: rounds/rescues/reliefs/waivers, ``window_peak``,
+        #: ``bytes_by_edge`` (pickled message bytes per directed shard
+        #: edge; boundary time planes ship zero bytes), ``bytes_shipped``
+        #: (their sum), ``worker_busy_s`` (summed worker wall time inside
+        #: round handling) and ``parallel_efficiency``
+        #: (``worker_busy_s / (wall * min(shards, host_cpus))``).
+        self.protocol: Dict[str, object] = {}
+        self._board: Optional[SharedRoundBoard] = None
         self._ran = False
 
     # -- public API ------------------------------------------------------
@@ -128,8 +160,14 @@ class ShardedMachine:
                 raise SimConfigError(
                     f"root core {spec.root_core} out of range")
         t_start = time.perf_counter()
-        mp_ctx = multiprocessing.get_context("spawn")
+        mp_ctx = multiprocessing.get_context(
+            resolve_start_method(self.cfg.worker_start_method))
         part = self.partition
+        topo = build_topology(self.cfg)
+        self._neighbors = [topo.neighbors(c)
+                           for c in range(self.cfg.n_cores)]
+        board = SharedRoundBoard.create(self.cfg.n_cores, part.n_shards)
+        self._board = board
         edges = make_edge_channels(mp_ctx, part)
         ctrl: List[object] = []
         workers: List[object] = []
@@ -138,7 +176,8 @@ class ShardedMachine:
                 parent_conn, child_conn = mp_ctx.Pipe(duplex=True)
                 proc = mp_ctx.Process(
                     target=worker_main,
-                    args=(sid, self.cfg, specs, edges[sid], child_conn),
+                    args=(sid, self.cfg, specs, edges[sid], child_conn,
+                          board.name),
                     name=f"repro-shard-{sid}",
                     daemon=True,
                 )
@@ -153,20 +192,28 @@ class ShardedMachine:
                     proc.terminate()
             for proc in workers:
                 proc.join(timeout=5.0)
-        self.stats.wall_seconds = time.perf_counter() - t_start
+            board.close()
+            board.unlink()
+            self._board = None
+        self.stats.wall_seconds = wall = time.perf_counter() - t_start
+        busy = self.protocol.get("worker_busy_s", 0.0)
+        slots = min(part.n_shards, os.cpu_count() or 1)
+        self.protocol["parallel_efficiency"] = (
+            round(busy / (wall * slots), 4) if wall > 0 else 0.0)
         return results
 
     # -- coordination loop ----------------------------------------------
     def _drive(self, specs, ctrl, timeout) -> List[object]:
-        spatial = self.cfg.sync == "spatial"
-        T = self.cfg.drift_bound
-        n = self.cfg.n_cores
-        part = self.partition
-        topo = build_topology(self.cfg)
-        neighbors = [topo.neighbors(c) for c in range(n)]
-        # Round 1: every core sits at virtual time 0, nothing to adopt.
+        cfg = self.cfg
+        spatial = cfg.sync == "spatial"
+        T = cfg.drift_bound
+        adaptive = (spatial and cfg.adaptive_window
+                    and cfg.window_max_factor > 1.0)
+        # Round 1: every core sits at virtual time 0, nothing to adopt
+        # (the board's adopt plane starts at INF).
         horizon = T if spatial else INF
-        adopts: List[Optional[Dict[int, float]]] = [None] * len(ctrl)
+        window = 1.0
+        lift = 0.0
         # Escalation ladder for a no-progress round (spatial only —
         # the unbounded policy gates nothing, so its stall is final):
         #   stall 1 — one *relief round* with an unbounded horizon.  The
@@ -196,17 +243,17 @@ class ShardedMachine:
                                 key=lambda i: statuses[i][4])
                 self.waivers += 1
             for sid, conn in enumerate(ctrl):
-                conn.send(("go", horizon, adopts[sid], sid == waive_sid))
+                conn.send(("go", horizon, lift, sid == waive_sid))
             statuses = [self._expect(conn, "status", timeout) for conn in ctrl]
             self.rounds += 1
             live = sum(s[3] for s in statuses)
             if live == 0:
                 break
-            progressed = any(s[1] for s in statuses) or any(
-                s[2] for s in statuses)
+            sent_total = sum(s[2] for s in statuses)
+            progressed = any(s[1] for s in statuses) or sent_total > 0
             global_min = min(s[4] for s in statuses)
             if spatial:
-                adopts = self._exact_times(statuses, neighbors, part)
+                self._refresh_adopt_plane()
             if progressed:
                 stall = 0
             else:
@@ -215,19 +262,31 @@ class ShardedMachine:
                     self._deadlock(live, statuses)
                 if stall == 1:
                     self.reliefs += 1
+            if adaptive:
+                # Quiet round: nothing crossed a boundary, so shards are
+                # provably independent up to the current permissions —
+                # widen the window to amortize the next barrier.  Any
+                # traffic collapses it back to the paper's T.
+                if sent_total == 0:
+                    window = min(window * 2.0, cfg.window_max_factor)
+                    if window > self.window_peak:
+                        self.window_peak = window
+                else:
+                    window = 1.0
+                lift = (window - 1.0) * T
             if spatial and stall == 0:
-                horizon = global_min + T
+                horizon = global_min + T * window
             else:
                 horizon = INF
         for conn in ctrl:
             conn.send(("stop",))
         return self._finalize(specs, ctrl, timeout)
 
-    def _exact_times(self, statuses, neighbors, part):
-        """Per-round exact shadow fixpoint from the gathered global
-        (active, vtime) state — the sharded analogue of the serial
-        ``refresh_shadows``, run every round rather than only on a
-        no-runnable rescue.
+    def _refresh_adopt_plane(self) -> None:
+        """Per-round exact shadow fixpoint from the board's global
+        (active, vtime) planes into its adopt plane — the sharded
+        analogue of the serial ``refresh_shadows``, run every round
+        rather than only on a no-runnable rescue.
 
         Fast-mode relax waves are worker-local, so the shadow of an
         idle region freezes at whatever value it had when the cores
@@ -247,37 +306,42 @@ class ShardedMachine:
         fast mode admits, and the paper's accuracy figures absorb.
         """
         self.rescues += 1
-        n = self.cfg.n_cores
-        active = [False] * n
-        vtime = [0.0] * n
-        for status in statuses:
-            for cid, a, v in status[5]:
-                active[cid] = a
-                vtime[cid] = v
-        pub = exact_shadow_fixpoint(neighbors, active, vtime,
-                                    self.cfg.drift_bound)
-        adopts = []
-        for sid in range(part.n_shards):
-            relevant = dict.fromkeys(part.cores_of(sid), None)
-            relevant.update(dict.fromkeys(part.proxies_of(sid), None))
-            adopts.append({cid: pub[cid] for cid in relevant})
-        return adopts
+        board = self._board
+        board.adopt[:] = exact_shadow_fixpoint(
+            self._neighbors, board.active, board.vtime,
+            self.cfg.drift_bound)
 
     def _finalize(self, specs, ctrl, timeout) -> List[object]:
         results: Dict[int, object] = {}
         finishes: Dict[int, Optional[float]] = {}
         worker_stats: List[SimStats] = []
-        for conn in ctrl:
+        bytes_by_edge: Dict[str, int] = {}
+        busy_total = 0.0
+        for sid, conn in enumerate(ctrl):
             reply = self._expect(conn, "done", timeout)
             worker_stats.append(reply[1])
             results.update(reply[2])
             finishes.update(reply[3])
+            for peer, nbytes in sorted(reply[4].items()):
+                if nbytes:
+                    bytes_by_edge[f"{sid}->{peer}"] = nbytes
+            busy_total += reply[5]
         missing = [i for i in range(len(specs)) if i not in results]
         if missing:
             raise SimError(
                 f"workload specs {missing} produced no result; "
                 f"check their root_core assignments")
         self._merge_stats(worker_stats, finishes)
+        self.protocol = {
+            "rounds": self.rounds,
+            "rescues": self.rescues,
+            "reliefs": self.reliefs,
+            "waivers": self.waivers,
+            "window_peak": self.window_peak,
+            "bytes_by_edge": bytes_by_edge,
+            "bytes_shipped": sum(bytes_by_edge.values()),
+            "worker_busy_s": round(busy_total, 6),
+        }
         return [results[i] for i in range(len(specs))]
 
     def _merge_stats(self, worker_stats, finishes) -> None:
@@ -332,5 +396,10 @@ class ShardedMachine:
 
     def describe(self) -> str:
         """One-line backend summary (CLI banner)."""
+        cfg = self.cfg
+        extras = f"batch={cfg.round_batch}"
+        if cfg.adaptive_window and cfg.sync == "spatial":
+            extras += f", window<=x{cfg.window_max_factor:g}"
         return (f"sharded backend: {self.partition.describe()}, "
-                f"sync={self.cfg.sync} T={self.cfg.drift_bound}")
+                f"sync={cfg.sync} T={cfg.drift_bound}, {extras}, "
+                f"start={resolve_start_method(cfg.worker_start_method)}")

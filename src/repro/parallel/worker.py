@@ -8,33 +8,42 @@ never execute, but the fabric anchors them at the owning worker's
 published virtual times (``set_proxy_time``) so local drift checks and
 relax waves see true values instead of shadowing over them.
 
-The worker is lockstep-driven by the coordinator:
+The worker is driven by the coordinator through the shared round board
+(:class:`~repro.parallel.channels.SharedRoundBoard`) plus a slim
+control pipe:
 
-``("go", horizon, adopt, waive)``
-    First apply the coordinator-computed exact shadow fixpoint from the
-    previous round's global state (``adopt``; ``None`` on round 1 and
-    under the unbounded policy): owned idle cores through
-    ``fabric.adopt_shadow``, proxies through ``fabric.set_proxy_time``
-    — both raise-only, matching the serial fast mode's monotone
-    published times; the fixpoint exists to *unfreeze* shadows whose
-    relaxing cores live in another shard, never to revoke permissions
-    already granted.  When ``waive`` is set (coordinator escalation
-    after a stalled relief round), force one slice on the earliest
-    owned core first (``run_shard_waiver``).  Then run owned cores
-    until quiescent, drift-stalled or parked at ``horizon``;
-    exchange one boundary batch with every peer shard (send first, then
-    receive — pipes buffer, so this cannot deadlock); reply with a
-    status tuple that carries the owned cores' (active, vtime) state
-    for the next fixpoint.
+``("go", horizon, lift, waive)``
+    1. Adopt the coordinator's exact-shadow fixpoint from the board's
+       *adopt plane* (owned idle cores, raise-only) and re-anchor every
+       boundary proxy from the peers' published plane and the adopt
+       plane, plus the adaptive-window ``lift`` — the extra drift
+       permission ``(window - 1) * T`` the coordinator granted for this
+       round (see docs/parallel.md).
+    2. Drain any cross-shard USER-message batches peers shipped last
+       round (the board's count matrix says which pipes to touch).
+    3. When ``waive`` is set (coordinator escalation after a stalled
+       relief round), force one slice on the earliest owned core
+       (``run_shard_waiver``).  Then run up to ``cfg.round_batch``
+       engine sub-rounds, re-running the *scoped* exact shadow fixpoint
+       (``Machine.refresh_shard_shadows``) between sub-rounds so
+       shadows frozen mid-batch keep moving — and stopping the moment a
+       boundary-crossing message is emitted, work runs out, or a
+       sub-round can neither progress nor raise a shadow.
+    4. Publish boundary times and the (active, vtime) snapshot to the
+       board, ship message batches (counts into the board, columns over
+       the edge pipes), and reply with a slim status tuple.
 ``("stop",)``
-    Finalize stats and reply with results.
+    Finalize stats and reply with results plus per-edge byte counts and
+    this worker's cumulative busy wall time.
 
 Module-level entry point (``worker_main``) so the ``spawn`` start
-method can import it in the child process.
+method can import it in the child process; under ``fork`` the child
+simply inherits it.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Dict, List
 
@@ -42,18 +51,19 @@ from ..arch.builder import build_machine
 from ..core.errors import ShardBoundaryError
 from ..core.fabric import INF
 from ..core.messages import Message, MsgKind
-from .channels import encode_message
+from .channels import SharedRoundBoard, decode_batch, encode_batch
 
 
 def worker_main(sid: int, cfg, specs, edge_conns: Dict[int, object],
-                ctrl_conn) -> None:
+                ctrl_conn, board_name: str) -> None:
     """Process entry point for shard ``sid``.
 
     ``edge_conns`` maps peer shard id -> duplex connection;
-    ``ctrl_conn`` is the coordinator control channel.
+    ``ctrl_conn`` is the coordinator control channel; ``board_name``
+    identifies the shared round board to attach to.
     """
     try:
-        _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn)
+        _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name)
     except BaseException as exc:  # ship the failure to the coordinator
         try:
             ctrl_conn.send(("error", sid, repr(exc),
@@ -62,13 +72,15 @@ def worker_main(sid: int, cfg, specs, edge_conns: Dict[int, object],
             pass
 
 
-def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn) -> None:
+def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
     machine = build_machine(cfg)
     part = machine.fence
     owned = part.cores_of(sid)
     owned_set = set(owned)
     boundary = part.boundary_of(sid)
+    proxies = part.proxies_of(sid)
     peers = part.peers_of(sid)  # sorted; iteration order is deterministic
+    board = SharedRoundBoard.attach(board_name, cfg.n_cores, part.n_shards)
 
     outbox: List[Message] = []
 
@@ -90,51 +102,107 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn) -> None:
                                                spec.root_core)))
 
     fabric = machine.fabric
-    report_state = cfg.sync == "spatial"
-    while True:
-        cmd = ctrl_conn.recv()
-        op = cmd[0]
-        if op == "go":
-            adopt = cmd[2]
-            if adopt:
-                for cid, value in adopt.items():
-                    if value == INF:
-                        continue
-                    if cid in owned_set:
-                        fabric.adopt_shadow(cid, value)
-                    else:
-                        fabric.set_proxy_time(cid, value)
-            progressed = bool(cmd[3]) and machine.run_shard_waiver()
-            progressed = machine.run_shard_round(cmd[1]) or progressed
-            # Boundary batch out: published times of our boundary cores
-            # plus any cross-shard USER messages, grouped by owner.
-            by_peer: Dict[int, list] = {p: [] for p in peers}
-            sent = len(outbox)
-            for msg in outbox:
-                by_peer[part.owner_of(msg.dst)].append(encode_message(msg))
-            outbox.clear()
-            published = {cid: fabric.published[cid] for cid in boundary}
-            for p in peers:
-                edge_conns[p].send((published, by_peer[p]))
-            # Boundary batch in: anchor proxies, then inject messages.
-            # Peers are visited in sorted order and each batch preserves
-            # the sender's emission order, so delivery is deterministic.
-            for p in peers:
-                peer_pub, msgs = edge_conns[p].recv()
-                for cid, value in peer_pub.items():
-                    if value != INF:
-                        fabric.set_proxy_time(cid, value)
-                for fields in msgs:
-                    machine.inject_message(*fields)
-            state = ([(cid, fabric.active[cid], fabric.vtime[cid])
-                      for cid in owned] if report_state else None)
-            ctrl_conn.send(("status", progressed, sent, machine.live_tasks,
-                            machine.shard_min_time(), state))
-        elif op == "stop":
-            machine.finish_run()
-            results = {i: task.result for i, task in roots}
-            finishes = {i: task.finish_time for i, task in roots}
-            ctrl_conn.send(("done", machine.stats, results, finishes))
-            return
-        else:  # pragma: no cover - protocol misuse
-            raise RuntimeError(f"unknown coordinator command {op!r}")
+    spatial = cfg.sync == "spatial"
+    # Sub-round batching only pays under spatial sync: the unbounded
+    # policy gates nothing, so one run to quiescence is already maximal.
+    batch_cap = cfg.round_batch if spatial else 1
+    counts = board.counts
+    bytes_to: Dict[int, int] = {p: 0 for p in peers}
+    busy = 0.0
+    round_no = 0
+    try:
+        while True:
+            cmd = ctrl_conn.recv()
+            op = cmd[0]
+            if op == "go":
+                t0 = time.perf_counter()
+                _, horizon, lift, waive = cmd
+                prev = (round_no - 1) & 1
+                cur = round_no & 1
+                # 1a. Owned idle cores adopt the coordinator fixpoint
+                # (+ the window lift) raise-only; stale plane values
+                # from earlier rounds are harmless for the same reason.
+                if spatial:
+                    adopt = board.adopt
+                    for cid in owned:
+                        v = adopt[cid]
+                        if v != INF:
+                            fabric.adopt_shadow(cid, v + lift)
+                    # 1b. Proxies anchor at the stronger of the owning
+                    # worker's published time (plane, previous parity)
+                    # and the fixpoint value, plus the lift.
+                    pub_prev = board.published[prev]
+                    for cid in proxies:
+                        v = pub_prev[cid]
+                        a = adopt[cid]
+                        if a != INF and (v == INF or a > v):
+                            v = a
+                        if v != INF:
+                            fabric.set_proxy_time(cid, v + lift)
+                else:
+                    pub_prev = board.published[prev]
+                    for cid in proxies:
+                        v = pub_prev[cid]
+                        if v != INF:
+                            fabric.set_proxy_time(cid, v)
+                # 2. Drain last round's message batches.  Peers are
+                # visited in sorted order and each batch preserves the
+                # sender's emission order, so delivery is deterministic.
+                for p in peers:
+                    if counts[prev, p, sid]:
+                        for fields in decode_batch(edge_conns[p].recv_bytes()):
+                            machine.inject_message(*fields)
+                # 3. Run the sub-round batch.
+                progressed = bool(waive) and machine.run_shard_waiver()
+                sub = 0
+                while True:
+                    ran = machine.run_shard_round(horizon)
+                    progressed = ran or progressed
+                    sub += 1
+                    if (outbox or sub >= batch_cap
+                            or not machine.shard_has_work()):
+                        break
+                    # A further sub-round can only differ if a shadow
+                    # rose; the scoped fixpoint is idempotent, so this
+                    # terminates (run -> raise -> run -> no raise).
+                    if not machine.refresh_shard_shadows():
+                        break
+                # 4. Publish planes, ship batches, report status.
+                vt_plane = board.vtime
+                act_plane = board.active
+                for cid in owned:
+                    vt_plane[cid] = fabric.vtime[cid]
+                    act_plane[cid] = 1 if fabric.active[cid] else 0
+                pub_cur = board.published[cur]
+                for cid in boundary:
+                    pub_cur[cid] = fabric.published[cid]
+                sent = len(outbox)
+                if sent:
+                    by_peer: Dict[int, list] = {p: [] for p in peers}
+                    for msg in outbox:
+                        by_peer[part.owner_of(msg.dst)].append(msg)
+                    outbox.clear()
+                    for p in peers:
+                        counts[cur, sid, p] = len(by_peer[p])
+                        if by_peer[p]:
+                            blob = encode_batch(by_peer[p])
+                            bytes_to[p] += len(blob)
+                            edge_conns[p].send_bytes(blob)
+                else:
+                    counts[cur, sid, :] = 0
+                round_no += 1
+                busy += time.perf_counter() - t0
+                ctrl_conn.send(("status", progressed, sent,
+                                machine.live_tasks,
+                                machine.shard_min_time()))
+            elif op == "stop":
+                machine.finish_run()
+                results = {i: task.result for i, task in roots}
+                finishes = {i: task.finish_time for i, task in roots}
+                ctrl_conn.send(("done", machine.stats, results, finishes,
+                                bytes_to, busy))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise RuntimeError(f"unknown coordinator command {op!r}")
+    finally:
+        board.close()
