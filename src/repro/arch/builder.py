@@ -130,6 +130,10 @@ def build_machine(cfg: ArchConfig) -> Machine:
             work_stealing=cfg.work_stealing,
         )
     )
+    if cfg.sanitize:
+        from ..verify.sanitizer import Sanitizer
+
+        Sanitizer(machine)
     return machine
 
 

@@ -121,6 +121,19 @@ class ArchConfig:
     #: booting fresh interpreters) and falls back to spawn elsewhere.
     worker_start_method: str = "auto"  # auto | fork | spawn
 
+    # Verification (repro.verify).  ``sanitize`` attaches the runtime
+    # invariant checker to every machine the build produces (serial and
+    # per-worker): drift-bound admission, causal/FIFO message delivery,
+    # publish monotonicity, lock accounting and the sharded adopt/lift
+    # protocol all assert continuously, raising SanitizerViolation on the
+    # first breach.  Costs ~2x; compute fusion is disabled while checking
+    # (fused and unfused execution are bit-identical, so timing results
+    # do not change).  ``collect_trace`` makes the sharded backend attach
+    # a Tracer inside each worker and ship the merged trace back as
+    # ``backend.trace`` for canonical digesting.
+    sanitize: bool = False
+    collect_trace: bool = False
+
     def __post_init__(self) -> None:
         if self.n_cores < 1:
             raise SimConfigError("need at least one core")

@@ -4,11 +4,14 @@
     python -m repro run dijkstra --cores 64 --memory shared --scale small
     python -m repro sweep fig8 --sizes 1,8,64 --scale tiny
     python -m repro policies quicksort --cores 64
+    python -m repro fuzz --cases 25 --seed 0
     python -m repro info
 
 ``run`` simulates one benchmark on one architecture and prints the
 headline numbers; ``sweep`` regenerates a figure/table of the paper's
-evaluation; ``policies`` compares all sync policies on one benchmark.
+evaluation; ``policies`` compares all sync policies on one benchmark;
+``fuzz`` differentially tests the serial and sharded backends against
+each other (see docs/testing.md).
 """
 
 from __future__ import annotations
@@ -90,6 +93,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--round-batch", type=int, default=None, metavar="N",
                      help="sharded backend: max engine sub-rounds a worker "
                           "runs per coordination round (default 16)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime invariant sanitizer (drift "
+                          "bound, causal delivery, publish monotonicity; "
+                          "~2x slower)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential serial-vs-sharded conformance fuzzing")
+    fuzz.add_argument("--cases", type=int, default=25,
+                      help="number of generated cases (default 25)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed; case i uses seed*1000003 + i")
+    fuzz.add_argument("--case", default=None, metavar="JSON",
+                      help="re-run one exact case from its JSON reproducer "
+                           "(as printed on failure)")
+    fuzz.add_argument("--no-sanitize", action="store_true",
+                      help="digest/stat diffing only, runtime checks off")
 
     sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
     sweep.add_argument("figure", choices=SWEEPS)
@@ -181,6 +201,8 @@ def _make_config(args):
             overrides["adaptive_window"] = False
     if getattr(args, "round_batch", None) is not None:
         overrides["round_batch"] = args.round_batch
+    if getattr(args, "sanitize", False):
+        overrides["sanitize"] = True
     return dataclasses.replace(
         cfg, drift_bound=args.drift, sync=args.sync, dispatch=args.dispatch,
         seed=args.seed, backend=args.backend, shards=args.shards,
@@ -234,6 +256,14 @@ def _cmd_run(args, out) -> int:
         print(f"speedup vs 1 core: {speedup:.2f}x", file=out)
     print("output verified  : yes", file=out)
     return 0
+
+
+def _cmd_fuzz(args, out) -> int:
+    from .verify.fuzzer import fuzz_main
+
+    return fuzz_main(cases=args.cases, seed=args.seed,
+                     sanitize=not args.no_sanitize,
+                     case_json=args.case, out=out)
 
 
 def _cmd_sweep(args, out) -> int:
@@ -353,6 +383,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_info(out)
         if args.command == "run":
             return _cmd_run(args, out)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
         if args.command == "policies":

@@ -230,6 +230,11 @@ class Machine:
         #: Partition fencing the run-time to shard-local dispatch (set by
         #: the builder when ``ArchConfig.shards > 0``); None = unfenced.
         self.fence = None
+        #: Runtime invariant checker (``repro.verify.Sanitizer``); set by
+        #: the builder when ``ArchConfig.sanitize`` is on.  The engine
+        #: never consults it — the sanitizer hooks in from outside — but
+        #: the worker/CLI layers use it to drive round-scoped checks.
+        self.sanitizer = None
         # Shard-execution scope (sharded backend): when set, only cores in
         # ``_owned`` are driven locally and messages to other cores are
         # handed to ``_foreign_sink`` instead of delivered (see

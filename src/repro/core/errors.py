@@ -41,6 +41,27 @@ class ProtocolError(SimError):
     """A task violated the programming-model protocol (e.g. double release)."""
 
 
+class SanitizerViolation(SimError):
+    """A runtime invariant check (``ArchConfig.sanitize``) failed.
+
+    Carries structured context so violations crossing a worker-process
+    boundary survive as data: the check that fired, the core involved,
+    the virtual times on both sides of the comparison, and a free-form
+    ``details`` dict describing the offending event.  All fields are
+    plain picklable values.
+    """
+
+    def __init__(self, check: str, message: str, *, core: int | None = None,
+                 vtime: float | None = None, bound: float | None = None,
+                 details: dict | None = None) -> None:
+        super().__init__(f"[sanitize:{check}] {message}")
+        self.check = check
+        self.core = core
+        self.vtime = vtime
+        self.bound = bound
+        self.details = details or {}
+
+
 class TaskError(SimError):
     """Simulated program code raised an exception.
 

@@ -348,6 +348,25 @@ class VirtualTimeFabric:
             return -INF
         return self.vtime[cid] - floor
 
+    def drift_report(self, cid: int) -> dict:
+        """Snapshot of every input to the drift rule for core ``cid``.
+
+        Diagnostic companion to :meth:`drift_ok`, used by the sanitizer
+        (``repro.verify``) to build structured violation reports:
+        per-neighbour published times pinpoint *which* edge broke the
+        bound.
+        """
+        return {
+            "vtime": self.vtime[cid],
+            "active": bool(self.active[cid]),
+            "T": self.T,
+            "floor": self.floor(cid),
+            "births_min": self._births_min[cid],
+            "neighbors": {
+                j: self.published[j] for j in self._neighbors[cid]
+            },
+        }
+
     def global_drift_bound(self) -> float:
         """The theoretical bound diameter x T (paper, Section II-A)."""
         return self.topo.diameter() * self.T

@@ -90,6 +90,13 @@ class SyncPolicy:
     #: consumes hidden state per advance (LaxP2P's RNG referee draws)
     #: must keep per-action advances to stay deterministic.
     fusible_compute = True
+    #: Whether admissions promise the fabric's neighbour drift rule
+    #: (``VirtualTimeFabric.drift_ok``).  The sanitizer
+    #: (``repro.verify``) cross-checks every positive ``may_run`` answer
+    #: against the fabric's reference implementation when this is set —
+    #: policies gating on other conditions (global quantum, slack, ...)
+    #: make no such promise and are not drift-checked.
+    checks_drift = False
 
     def attach(self, machine: "Machine") -> None:
         self.machine = machine
@@ -127,6 +134,7 @@ class SpatialSync(SyncPolicy):
     name = "spatial"
     needs_global_recheck = True  # safety net; fine-grained hooks do the work
     reception_exempt = True
+    checks_drift = True
 
     def __init__(self) -> None:
         self.machine: Optional["Machine"] = None

@@ -14,8 +14,9 @@ non-invasively (method wrapping), so it costs nothing when not attached.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.messages import Message
 
@@ -141,6 +142,23 @@ class Tracer:
         name, start = entry
         self.spans.append(Span(cid, name, start, end))
 
+    def _effective_spans(self) -> List[Span]:
+        """Closed spans plus still-open ones flushed at the cores' clocks.
+
+        A task that is still executing when the run ends (or when the
+        engine stops at a vtime horizon) never reaches ``_finish_task``,
+        so its span sits in ``_open``.  Synthesize a closing edge at the
+        core's current virtual time without mutating tracer state, so
+        repeated queries and a later resumed run both stay correct.
+        """
+        if not self._open:
+            return self.spans
+        vtime = self.machine.fabric.vtime
+        spans = list(self.spans)
+        for cid, (name, start) in self._open.items():
+            spans.append(Span(cid, name, start, max(start, vtime[cid])))
+        return spans
+
     # -- queries -----------------------------------------------------------
     def core_utilization(self) -> Dict[int, float]:
         """Fraction of the run each core spent executing tasks.
@@ -150,13 +168,14 @@ class Tracer:
         paper, Section II), so busy time is the measure of the interval
         *union*, keeping utilization within [0, 1].
         """
-        horizon = max((s.end for s in self.spans), default=0.0)
+        spans = self._effective_spans()
+        horizon = max((s.end for s in spans), default=0.0)
         if horizon <= 0:
             return {c.cid: 0.0 for c in self.machine.cores}
         by_core: Dict[int, List[tuple]] = {
             c.cid: [] for c in self.machine.cores
         }
-        for span in self.spans:
+        for span in spans:
             by_core[span.core].append((span.start, span.end))
         util: Dict[int, float] = {}
         for cid, intervals in by_core.items():
@@ -172,9 +191,9 @@ class Tracer:
         return util
 
     def export(self) -> Dict[str, List[Dict[str, Any]]]:
-        """Structured trace for external tooling."""
+        """Structured trace for external tooling (open spans included)."""
         return {
-            "spans": [s.as_dict() for s in self.spans],
+            "spans": [s.as_dict() for s in self._effective_spans()],
             "stalls": list(self.stalls),
             "messages": [m.as_dict() for m in self.messages],
         }
@@ -207,3 +226,77 @@ class Tracer:
         for cid, lane in lanes:
             lines.append(f"{f'core {cid}':>{label_width}} |{lane}|")
         return "\n".join(lines)
+
+
+# -- canonical form ---------------------------------------------------------
+
+def _canonical_task(name: str) -> str:
+    """Strip the per-process task id suffix (``fn#17`` -> ``fn``).
+
+    Task ids are allocated in scheduling order, which differs between the
+    serial engine and sharded workers (each worker numbers its own tasks),
+    so they must not enter the canonical form.
+    """
+    base, sep, tid = name.rpartition("#")
+    if sep and tid.isdigit():
+        return base
+    return name
+
+
+def canonical_events(trace: Dict[str, List[Dict[str, Any]]],
+                     include: Iterable[str] = ("spans", "messages"),
+                     ) -> List[Tuple]:
+    """Deterministic, backend-independent event tuples for a trace.
+
+    Takes an ``export()`` dict (or the concatenation of several — the
+    sharded backend ships one per worker) and returns sorted tuples.
+    Floats are rendered with ``float.hex()`` so the comparison is
+    bit-exact, never formatting-dependent.  ``stalls`` are excluded by
+    default: stall *scheduling* is a backend decision (the sharded
+    coordinator replaces fine-grained stalls with round horizons), so
+    only spans and messages are part of the conformance contract.
+    """
+    events: List[Tuple] = []
+    if "spans" in include:
+        for s in trace.get("spans", ()):
+            events.append(("span", s["core"], _canonical_task(s["task"]),
+                           float(s["start"]).hex(), float(s["end"]).hex()))
+    if "messages" in include:
+        for m in trace.get("messages", ()):
+            events.append(("msg", m["kind"], m["src"], m["dst"],
+                           float(m["send_time"]).hex(),
+                           float(m["arrival"]).hex()))
+    if "stalls" in include:
+        for st in trace.get("stalls", ()):
+            events.append(("stall", st["core"],
+                           float(st["vtime"]).hex(),
+                           float(st["floor"]).hex()))
+    events.sort()
+    return events
+
+
+def merge_traces(traces: Iterable[Dict[str, List[Dict[str, Any]]]],
+                 ) -> Dict[str, List[Dict[str, Any]]]:
+    """Concatenate per-worker ``export()`` dicts into one trace dict."""
+    merged: Dict[str, List[Dict[str, Any]]] = {
+        "spans": [], "stalls": [], "messages": [],
+    }
+    for trace in traces:
+        for key in merged:
+            merged[key].extend(trace.get(key, ()))
+    return merged
+
+
+def trace_digest(trace: Dict[str, List[Dict[str, Any]]],
+                 include: Iterable[str] = ("spans", "messages")) -> str:
+    """Stable sha256 over the canonical event tuples of a trace.
+
+    Two runs of the same workload are conformant iff their digests match;
+    use it to compare serial vs sharded executions (or any two backends)
+    without maintaining golden numbers per workload.
+    """
+    h = hashlib.sha256()
+    for event in canonical_events(trace, include=include):
+        h.update(repr(event).encode())
+        h.update(b"\n")
+    return h.hexdigest()

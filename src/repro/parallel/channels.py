@@ -9,9 +9,10 @@ Workers exchange three kinds of traffic:
   *adopt plane*), and a double-buffered per-edge message-count matrix.
   A quiescent edge therefore costs zero bytes and zero pickling per
   round — peers read each other's plane slots directly;
-* **edge channels** — one duplex pipe per adjacent shard pair, used
-  *only* when the count matrix says a batch of boundary-crossing USER
-  messages is in flight (see :func:`encode_batch`);
+* **edge channels** — one duplex pipe per shard pair (USER messages
+  may target any core, so non-adjacent shards exchange batches too),
+  used *only* when the count matrix says a batch of boundary-crossing
+  USER messages is in flight (see :func:`encode_batch`);
 * **control channels** — one duplex pipe per worker to the coordinator,
   carrying round commands (``go``/``stop``) and worker replies
   (``status``/``done``/``error``).
@@ -263,15 +264,23 @@ def _deltas(values: List[int]) -> Iterable[int]:
 
 
 def make_edge_channels(mp_ctx, partition) -> List[Dict[int, object]]:
-    """One duplex pipe per adjacent shard pair.
+    """One duplex pipe per shard pair.
 
     Returns ``edges`` with ``edges[sid][peer]`` the connection shard
     ``sid`` uses to talk to ``peer``; the matching end is
     ``edges[peer][sid]``.
+
+    Every unordered pair gets a pipe, not just topologically adjacent
+    shards: boundary-time planes travel through the shared round board,
+    but USER messages may target *any* core in the mesh (``ctx.send``
+    is unrestricted), so a shard can owe a batch to a shard it shares
+    no mesh edge with.  Idle pipes cost a pair of fds each and are
+    never polled (the board's count matrix says which to touch).
     """
     edges: List[Dict[int, object]] = [dict() for _ in range(partition.n_shards)]
-    for a, b in partition.shard_pairs():
-        conn_a, conn_b = mp_ctx.Pipe(duplex=True)
-        edges[a][b] = conn_a
-        edges[b][a] = conn_b
+    for a in range(partition.n_shards):
+        for b in range(a + 1, partition.n_shards):
+            conn_a, conn_b = mp_ctx.Pipe(duplex=True)
+            edges[a][b] = conn_a
+            edges[b][a] = conn_b
     return edges

@@ -62,7 +62,8 @@ import time
 from typing import Dict, List, Optional, Sequence
 
 from ..arch.builder import build_topology
-from ..core.errors import SimConfigError, SimDeadlock, SimError
+from ..core.errors import (SanitizerViolation, SimConfigError, SimDeadlock,
+                           SimError)
 from ..core.fabric import INF, exact_shadow_fixpoint
 from ..core.stats import SimStats
 from .channels import (SharedRoundBoard, WorkloadSpec, make_edge_channels,
@@ -135,6 +136,11 @@ class ShardedMachine:
         #: round handling) and ``parallel_efficiency``
         #: (``worker_busy_s / (wall * min(shards, host_cpus))``).
         self.protocol: Dict[str, object] = {}
+        #: Merged canonical trace (``cfg.collect_trace`` only): workers
+        #: each run a Tracer and ship their export with the done reply;
+        #: :func:`repro.harness.trace.merge_traces` concatenates them for
+        #: :func:`~repro.harness.trace.trace_digest`.  ``None`` otherwise.
+        self.trace = None
         self._board: Optional[SharedRoundBoard] = None
         self._ran = False
 
@@ -213,7 +219,7 @@ class ShardedMachine:
         # (the board's adopt plane starts at INF).
         horizon = T if spatial else INF
         window = 1.0
-        lift = 0.0
+        lift = self._window_lift(window)
         # Escalation ladder for a no-progress round (spatial only —
         # the unbounded policy gates nothing, so its stall is final):
         #   stall 1 — one *relief round* with an unbounded horizon.  The
@@ -242,6 +248,8 @@ class ShardedMachine:
                 waive_sid = min(range(len(ctrl)),
                                 key=lambda i: statuses[i][4])
                 self.waivers += 1
+            if cfg.sanitize:
+                self._check_lift(lift)
             for sid, conn in enumerate(ctrl):
                 conn.send(("go", horizon, lift, sid == waive_sid))
             statuses = [self._expect(conn, "status", timeout) for conn in ctrl]
@@ -273,7 +281,7 @@ class ShardedMachine:
                         self.window_peak = window
                 else:
                     window = 1.0
-                lift = (window - 1.0) * T
+                lift = self._window_lift(window)
             if spatial and stall == 0:
                 horizon = global_min + T * window
             else:
@@ -281,6 +289,28 @@ class ShardedMachine:
         for conn in ctrl:
             conn.send(("stop",))
         return self._finalize(specs, ctrl, timeout)
+
+    def _window_lift(self, window: float) -> float:
+        """Extra drift permission shipped with a round's ``go``: the
+        margin by which the adaptive window exceeds the paper's T.
+        Factored out so the sanitizer (coordinator-side ``_check_lift``,
+        worker-side ``Sanitizer.begin_round``) guards a single
+        definition of the protocol invariant
+        ``0 <= lift <= (window_max_factor - 1) * T``."""
+        return (window - 1.0) * self.cfg.drift_bound
+
+    def _check_lift(self, lift: float) -> None:
+        cfg = self.cfg
+        bound = (cfg.window_max_factor - 1.0) * cfg.drift_bound
+        if not -1e-9 <= lift <= bound * (1.0 + 1e-12) + 1e-9:
+            raise SanitizerViolation(
+                "window-lift",
+                f"coordinator would grant drift lift {lift!r} outside "
+                f"[0, {bound!r}] (window_max_factor="
+                f"{cfg.window_max_factor:g}, T={cfg.drift_bound:g})",
+                bound=bound,
+                details={"lift": lift,
+                         "window_max_factor": cfg.window_max_factor})
 
     def _refresh_adopt_plane(self) -> None:
         """Per-round exact shadow fixpoint from the board's global
@@ -317,6 +347,7 @@ class ShardedMachine:
         worker_stats: List[SimStats] = []
         bytes_by_edge: Dict[str, int] = {}
         busy_total = 0.0
+        traces = []
         for sid, conn in enumerate(ctrl):
             reply = self._expect(conn, "done", timeout)
             worker_stats.append(reply[1])
@@ -326,6 +357,12 @@ class ShardedMachine:
                 if nbytes:
                     bytes_by_edge[f"{sid}->{peer}"] = nbytes
             busy_total += reply[5]
+            if reply[6] is not None:
+                traces.append(reply[6])
+        if traces:
+            from ..harness.trace import merge_traces
+
+            self.trace = merge_traces(traces)
         missing = [i for i in range(len(specs)) if i not in results]
         if missing:
             raise SimError(
@@ -371,6 +408,16 @@ class ShardedMachine:
                 f"shard worker did not reply within {timeout}s "
                 f"(waiting for {tag!r})")
         reply = conn.recv()
+        if reply[0] == "violation":
+            _, sid, check, message, info, trace = reply
+            prefix = f"[sanitize:{check}] "
+            if message.startswith(prefix):
+                message = message[len(prefix):]
+            raise SanitizerViolation(
+                check, f"shard worker {sid}: {message}",
+                core=info.get("core"), vtime=info.get("vtime"),
+                bound=info.get("bound"),
+                details=dict(info.get("details") or {}, worker_trace=trace))
         if reply[0] == "error":
             _, sid, brief, trace = reply
             raise SimError(
@@ -381,6 +428,19 @@ class ShardedMachine:
         return reply
 
     def _deadlock(self, live, statuses) -> None:
+        # Leave the protocol counters inspectable on the (dead) backend:
+        # the diagnostics travel with the exception, but tests and
+        # harness code read ``backend.protocol`` uniformly.
+        self.protocol = {
+            "rounds": self.rounds,
+            "rescues": self.rescues,
+            "reliefs": self.reliefs,
+            "waivers": self.waivers,
+            "window_peak": self.window_peak,
+            "bytes_by_edge": {},
+            "bytes_shipped": 0,
+            "worker_busy_s": 0.0,
+        }
         raise SimDeadlock(
             f"sharded run cannot make progress: {live} live tasks, "
             f"no runnable work even in an unbounded relief round",

@@ -48,7 +48,7 @@ import traceback
 from typing import Dict, List
 
 from ..arch.builder import build_machine
-from ..core.errors import ShardBoundaryError
+from ..core.errors import SanitizerViolation, ShardBoundaryError
 from ..core.fabric import INF
 from ..core.messages import Message, MsgKind
 from .channels import SharedRoundBoard, decode_batch, encode_batch
@@ -64,6 +64,14 @@ def worker_main(sid: int, cfg, specs, edge_conns: Dict[int, object],
     """
     try:
         _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name)
+    except SanitizerViolation as exc:  # structured: re-raised coordinator-side
+        try:
+            ctrl_conn.send(("violation", sid, exc.check, str(exc),
+                            {"core": exc.core, "vtime": exc.vtime,
+                             "bound": exc.bound, "details": exc.details},
+                            traceback.format_exc()))
+        except Exception:
+            pass
     except BaseException as exc:  # ship the failure to the coordinator
         try:
             ctrl_conn.send(("error", sid, repr(exc),
@@ -79,7 +87,10 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
     owned_set = set(owned)
     boundary = part.boundary_of(sid)
     proxies = part.proxies_of(sid)
-    peers = part.peers_of(sid)  # sorted; iteration order is deterministic
+    # Message batches may flow between *any* two shards (ctx.send is
+    # unrestricted), not only mesh-adjacent ones; sorted order keeps
+    # drain/ship iteration deterministic.
+    peers = tuple(s for s in range(part.n_shards) if s != sid)
     board = SharedRoundBoard.attach(board_name, cfg.n_cores, part.n_shards)
 
     outbox: List[Message] = []
@@ -102,6 +113,12 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                                                spec.root_core)))
 
     fabric = machine.fabric
+    sanitizer = machine.sanitizer
+    tracer = None
+    if cfg.collect_trace:
+        from ..harness.trace import Tracer
+
+        tracer = Tracer(machine)
     spatial = cfg.sync == "spatial"
     # Sub-round batching only pays under spatial sync: the unbounded
     # policy gates nothing, so one run to quiescence is already maximal.
@@ -117,6 +134,8 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
             if op == "go":
                 t0 = time.perf_counter()
                 _, horizon, lift, waive = cmd
+                if sanitizer is not None:
+                    sanitizer.begin_round(lift, cfg.window_max_factor)
                 prev = (round_no - 1) & 1
                 cur = round_no & 1
                 # 1a. Owned idle cores adopt the coordinator fixpoint
@@ -199,8 +218,9 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                 machine.finish_run()
                 results = {i: task.result for i, task in roots}
                 finishes = {i: task.finish_time for i, task in roots}
+                trace = tracer.export() if tracer is not None else None
                 ctrl_conn.send(("done", machine.stats, results, finishes,
-                                bytes_to, busy))
+                                bytes_to, busy, trace))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise RuntimeError(f"unknown coordinator command {op!r}")

@@ -1,0 +1,27 @@
+"""Verification subsystem: runtime sanitizer, canonical trace hashing
+and the differential serial-vs-sharded conformance fuzzer.
+
+Three layers, each usable on its own:
+
+* :class:`~repro.verify.sanitizer.Sanitizer` — an opt-in runtime
+  checker (``ArchConfig.sanitize`` / ``--sanitize``) that hooks the
+  fabric, NoC and scheduler and asserts the engine's core invariants
+  continuously: the neighbour drift bound at every admission, causal
+  and per-channel-FIFO message delivery, publish monotonicity, lock
+  accounting, and the sharded backend's adopt/window-lift protocol.
+  Violations raise :class:`~repro.core.errors.SanitizerViolation`.
+* canonical traces — :func:`repro.harness.trace.trace_digest` turns any
+  run's trace into a stable sha256 so two executions can be compared by
+  hash instead of golden numbers.
+* the fuzzer (``python -m repro fuzz``) — generates seeded random
+  workload/config cases, runs each under the serial and sharded
+  backends with the sanitizer on, and diffs digests and stats,
+  shrinking and printing a reproducer command on mismatch.
+
+See docs/testing.md for how the layers fit together.
+"""
+
+from .sanitizer import Sanitizer
+from .fuzzer import FuzzCase, generate_case, run_case
+
+__all__ = ["Sanitizer", "FuzzCase", "generate_case", "run_case"]

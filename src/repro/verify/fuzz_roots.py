@@ -1,0 +1,90 @@
+"""Root-task factories for the conformance fuzzer.
+
+These live inside the installed package (unlike the test-suite's
+``tests/parallel_roots.py``) so sharded worker processes can resolve
+``WorkloadSpec.factory`` strings like ``"repro.verify.fuzz_roots:pingpong"``
+regardless of how the interpreter was launched.
+
+Every factory returns an object with a ``root`` coroutine and a
+``verify`` callable; each root's *return value* is timing-independent
+(counts and payload checksums, never virtual times), so results must
+match exactly between backends even when trajectories legitimately
+differ.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+
+def pingpong(peer: int, rounds: int = 3):
+    """Send tagged pings to ``peer`` and collect the incremented replies
+    (pair with :func:`echo` on the peer core)."""
+
+    def root(ctx):
+        acc = []
+        for i in range(rounds):
+            yield ctx.send(peer, payload=i * 10, tag=("ping", i))
+            msg = yield ctx.recv(tag=("pong", i))
+            acc.append(msg.payload)
+        return acc
+
+    expected = [i * 10 + 1 for i in range(rounds)]
+
+    def verify(result):
+        assert result == expected, (result, expected)
+
+    return SimpleNamespace(root=root, verify=verify)
+
+
+def echo(rounds: int = 3):
+    """Answer each tagged ping with payload + 1."""
+
+    def root(ctx):
+        for i in range(rounds):
+            msg = yield ctx.recv(tag=("ping", i))
+            yield ctx.send(msg.src, payload=msg.payload + 1,
+                           tag=("pong", i))
+        return rounds
+
+    def verify(result):
+        assert result == rounds, (result, rounds)
+
+    return SimpleNamespace(root=root, verify=verify)
+
+
+def lone_compute(steps: int = 5, chunk: float = 40.0):
+    """Pure local compute; returns the step count (never a time)."""
+
+    def root(ctx):
+        for _ in range(steps):
+            yield ctx.compute(chunk)
+        return steps
+
+    def verify(result):
+        assert result == steps, (result, steps)
+
+    return SimpleNamespace(root=root, verify=verify)
+
+
+def fanout(n_children: int = 3, child_cycles: float = 60.0):
+    """Spawn ``n_children`` compute tasks and join them (exercises the
+    run-time dispatcher, the birth ledger and task groups)."""
+
+    def child(ctx, i):
+        yield ctx.compute(cycles=child_cycles)
+        return i
+
+    def root(ctx):
+        from ..core.task import TaskGroup
+
+        group = TaskGroup("fuzz-fanout")
+        for i in range(n_children):
+            yield from ctx.spawn_or_inline(child, i, group=group)
+        yield ctx.join(group)
+        return n_children
+
+    def verify(result):
+        assert result == n_children, (result, n_children)
+
+    return SimpleNamespace(root=root, verify=verify)

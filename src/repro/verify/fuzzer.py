@@ -1,0 +1,394 @@
+"""Differential serial-vs-sharded conformance fuzzer.
+
+``python -m repro fuzz`` generates seeded random cases — mesh size,
+drift bound, shard count, adaptive-window and batching knobs, sync
+policy, and a random mix of workload roots — and runs each case under
+both execution backends with the sanitizer on, comparing canonical
+trace digests, merged stats and workload results.
+
+Two conformance contracts are checked, mirroring docs/parallel.md:
+
+* **strict** — when the serial run never drift-stalls *and* no USER
+  message crosses a shard boundary (the run is shard-closed), the
+  fenced regions are decoupled and the backends must be
+  *bit-identical*: equal results, equal completion time, equal
+  per-kind message counts and equal trace digests.
+* **determinism** — coupled cases (the serial run stalls, or messages
+  cross shards and are therefore delivered at round granularity) only
+  promise run-to-run determinism of the sharded backend plus verified
+  outputs; the sharded run executes twice and must hash identically.
+
+On a mismatch the fuzzer greedily shrinks the case (dropping
+workloads, collapsing the window and batching knobs) while the failure
+reproduces, then prints a one-line reproducer::
+
+    python -m repro fuzz --case '<json>'
+
+Case generation is a plain seeded ``random.Random`` walk so a seed is
+a complete description; :func:`case_strategy` wraps the same generator
+as a hypothesis strategy (shrinking over the seed) for the property
+tests in ``tests/test_fuzzer.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+_BENCHMARKS = ("quicksort", "dijkstra", "spmxv")
+_MESHES = (9, 12, 16, 20, 25)
+_DRIFTS = (5.0, 20.0, 100.0, 1e9)
+_WINDOW_MAX = (1.0, 4.0, 64.0)
+_ROUND_BATCH = (1, 4, 16)
+
+
+@dataclass
+class FuzzCase:
+    """One self-contained fuzz case (JSON round-trippable)."""
+
+    seed: int = 0
+    n_cores: int = 16
+    shards: int = 2
+    drift_bound: float = 100.0
+    sync: str = "spatial"
+    window_max_factor: float = 64.0
+    round_batch: int = 16
+    #: WorkloadSpec keyword dicts (picklable / JSON-able).
+    workloads: List[Dict] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        return cls(**json.loads(text))
+
+    def specs(self):
+        from ..parallel import WorkloadSpec
+
+        return [WorkloadSpec(**w) for w in self.workloads]
+
+    def config(self, backend: str, sanitize: bool):
+        from ..arch import shared_mesh
+
+        return dataclasses.replace(
+            shared_mesh(self.n_cores),
+            backend=backend,
+            shards=self.shards,
+            sync=self.sync,
+            drift_bound=self.drift_bound,
+            adaptive_window=self.window_max_factor > 1.0,
+            window_max_factor=self.window_max_factor,
+            round_batch=self.round_batch,
+            sanitize=sanitize,
+            collect_trace=True,
+            seed=self.seed & 0x7FFFFFFF,
+        )
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} mesh={self.n_cores} "
+                f"shards={self.shards} T={self.drift_bound:g} "
+                f"sync={self.sync} window<=x{self.window_max_factor:g} "
+                f"batch={self.round_batch} "
+                f"workloads={len(self.workloads)}")
+
+
+def generate_case(rng: random.Random, seed: int = 0) -> FuzzCase:
+    """Derive one case from a seeded RNG (deterministic in the seed)."""
+    from ..core.errors import SimConfigError
+    from ..network.topology import square_mesh
+    from ..parallel.partition import contiguous_partition
+
+    n = rng.choice(_MESHES)
+    shards = rng.randint(1, min(4, n))
+    topo = square_mesh(n)
+    while True:
+        # Some (mesh, shards) combinations yield disconnected regions
+        # (the partitioner validates and refuses); back off toward 1,
+        # which always succeeds.
+        try:
+            part = contiguous_partition(topo, shards)
+            break
+        except SimConfigError:
+            shards -= 1
+    case = FuzzCase(
+        seed=seed,
+        n_cores=n,
+        shards=shards,
+        drift_bound=rng.choice(_DRIFTS),
+        sync="spatial" if rng.random() < 0.8 else "unbounded",
+        window_max_factor=rng.choice(_WINDOW_MAX),
+        round_batch=rng.choice(_ROUND_BATCH),
+    )
+    workloads: List[Dict] = []
+    for sid in range(shards):
+        owned = list(part.cores_of(sid))
+        kind = rng.random()
+        if kind < 0.45:
+            workloads.append(dict(
+                benchmark=rng.choice(_BENCHMARKS), scale="tiny",
+                seed=rng.randrange(1000), memory="shared",
+                root_core=rng.choice(owned)))
+        elif kind < 0.65:
+            workloads.append(dict(
+                benchmark="", root_core=rng.choice(owned),
+                factory="repro.verify.fuzz_roots:lone_compute",
+                kwargs={"steps": rng.randrange(2, 8),
+                        "chunk": float(rng.choice((15, 40, 90)))}))
+        elif kind < 0.8:
+            workloads.append(dict(
+                benchmark="", root_core=rng.choice(owned),
+                factory="repro.verify.fuzz_roots:fanout",
+                kwargs={"n_children": rng.randrange(2, 5)}))
+        # else: quiet shard (exercises adaptive windows / idle shadows)
+    if rng.random() < 0.5 or not workloads:
+        # A messaging pair; cores may land in different shards, which
+        # exercises the boundary codec and round traffic.
+        a, b = rng.sample(range(n), 2)
+        rounds = rng.randrange(1, 4)
+        workloads.append(dict(
+            benchmark="", root_core=a,
+            factory="repro.verify.fuzz_roots:pingpong",
+            kwargs={"peer": b, "rounds": rounds}))
+        workloads.append(dict(
+            benchmark="", root_core=b,
+            factory="repro.verify.fuzz_roots:echo",
+            kwargs={"rounds": rounds}))
+    case.workloads = workloads
+    return case
+
+
+def case_strategy():
+    """Hypothesis strategy over fuzz cases (shrinks via the seed)."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda s: generate_case(random.Random(s), seed=s))
+
+
+# -- execution -------------------------------------------------------------
+
+def _verify_outputs(specs, results) -> Optional[str]:
+    for spec, result in zip(specs, results):
+        workload = spec.resolve()
+        verify = getattr(workload, "verify", None)
+        if verify is None:
+            continue
+        try:
+            if spec.factory:
+                verify(result)
+            else:
+                verify(result["output"])
+        except AssertionError as exc:
+            return (f"workload on core {spec.root_core} produced a wrong "
+                    f"result: {exc}")
+    return None
+
+
+def _run_serial(case: FuzzCase, sanitize: bool):
+    from ..arch import build_machine
+    from ..harness.trace import Tracer, trace_digest
+
+    machine = build_machine(case.config("serial", sanitize))
+    tracer = Tracer(machine)
+    specs = case.specs()
+    results = machine.run_roots(
+        [(spec.resolve().root, (), spec.root_core) for spec in specs])
+    trace = tracer.export()
+    return {
+        "results": results,
+        "digest": trace_digest(trace),
+        "trace": trace,
+        "completion": machine.stats.completion_vtime,
+        "messages": dict(machine.stats.messages_by_kind),
+        "drift_stalls": machine.stats.drift_stalls,
+    }
+
+
+def _shard_closed(case: FuzzCase, trace) -> bool:
+    """Whether no USER message in the (serial) trace crosses a shard
+    boundary.  Cross-shard messages are delivered at coordination-round
+    granularity, so the receiver may legitimately process them at a
+    different virtual time than serial — the bit-identity contract only
+    covers shard-closed runs (docs/parallel.md)."""
+    if case.shards <= 1:
+        return True
+    from ..arch.builder import build_topology
+    from ..parallel.partition import contiguous_partition
+
+    part = contiguous_partition(
+        build_topology(case.config("serial", False)), case.shards)
+    owner = part.owner
+    return not any(m["kind"] == "user" and owner[m["src"]] != owner[m["dst"]]
+                   for m in trace["messages"])
+
+
+def _run_sharded(case: FuzzCase, sanitize: bool):
+    from ..arch import build_backend
+    from ..harness.trace import trace_digest
+
+    backend = build_backend(case.config("sharded", sanitize))
+    specs = case.specs()
+    results = backend.run_workloads(specs)
+    digest = (trace_digest(backend.trace)
+              if backend.trace is not None else None)
+    return {
+        "results": results,
+        "digest": digest,
+        "completion": backend.stats.completion_vtime,
+        "messages": dict(backend.stats.messages_by_kind),
+        "protocol": dict(backend.protocol),
+    }
+
+
+def run_case(case: FuzzCase, sanitize: bool = True) -> Tuple[bool, Dict]:
+    """Run one case under both backends; return (ok, report).
+
+    The report carries ``mode`` ("strict" or "determinism"), the
+    digests, and on failure a ``mismatches`` list naming exactly what
+    diverged (or ``error`` when a run raised).
+    """
+    report: Dict = {"case": case.to_json()}
+    try:
+        serial = _run_serial(case, sanitize)
+        sharded = _run_sharded(case, sanitize)
+    except Exception as exc:  # SimDeadlock, SanitizerViolation, ...
+        report["error"] = f"{type(exc).__name__}: {exc}"
+        return False, report
+
+    specs = case.specs()
+    mismatches: List[str] = []
+    bad = _verify_outputs(specs, sharded["results"])
+    if bad:
+        mismatches.append(f"sharded: {bad}")
+    bad = _verify_outputs(specs, serial["results"])
+    if bad:
+        mismatches.append(f"serial: {bad}")
+
+    strict = (serial["drift_stalls"] == 0
+              and _shard_closed(case, serial["trace"]))
+    report["mode"] = "strict" if strict else "determinism"
+    if strict:
+        second = sharded
+    else:
+        # Coupled regions: the contract weakens to run-to-run
+        # determinism of the sharded backend (plus verified outputs).
+        try:
+            second = _run_sharded(case, sanitize)
+        except Exception as exc:
+            report["error"] = f"{type(exc).__name__}: {exc}"
+            return False, report
+        serial = sharded  # compare the two sharded runs below
+
+    for key, label in (("results", "results"),
+                       ("completion", "completion vtime"),
+                       ("messages", "messages by kind"),
+                       ("digest", "trace digest")):
+        if serial[key] != second[key]:
+            mismatches.append(
+                f"{label} differ: {serial[key]!r} vs {second[key]!r}")
+    report["digest"] = second["digest"]
+    if mismatches:
+        report["mismatches"] = mismatches
+        return False, report
+    return True, report
+
+
+def _failure_signature(report: Dict) -> Tuple:
+    """Coarse failure class, so shrinking cannot morph one bug into
+    another (e.g. dropping half a pingpong pair turns a digest mismatch
+    into a recv deadlock — simpler, but a different failure)."""
+    if "error" in report:
+        return ("error", report["error"].split(":", 1)[0])
+    return ("mismatch", tuple(sorted(
+        m.split(":", 1)[0] for m in report.get("mismatches", ()))))
+
+
+def shrink_case(case: FuzzCase, sanitize: bool = True,
+                budget: int = 16) -> FuzzCase:
+    """Greedy shrink: keep a simplification only while it reproduces the
+    *same class* of failure."""
+    ok, report = run_case(case, sanitize)
+    if ok:
+        return case
+    signature = _failure_signature(report)
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        ok, rep = run_case(candidate, sanitize)
+        return not ok and _failure_signature(rep) == signature
+
+    current = case
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        candidates: List[FuzzCase] = []
+        for i in range(len(current.workloads)):
+            trimmed = [w for j, w in enumerate(current.workloads) if j != i]
+            if trimmed:
+                candidates.append(
+                    dataclasses.replace(current, workloads=trimmed))
+        if current.round_batch > 1:
+            candidates.append(dataclasses.replace(current, round_batch=1))
+        if current.window_max_factor > 1.0:
+            candidates.append(
+                dataclasses.replace(current, window_max_factor=1.0))
+        for candidate in candidates:
+            if budget <= 0:
+                break
+            budget -= 1
+            if still_fails(candidate):
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# -- CLI entry -------------------------------------------------------------
+
+def fuzz_main(cases: int, seed: int, sanitize: bool,
+              case_json: Optional[str], out) -> int:
+    """Back end of ``python -m repro fuzz``; returns the exit code."""
+    if case_json is not None:
+        case = FuzzCase.from_json(case_json)
+        ok, report = run_case(case, sanitize)
+        print(f"case {case.describe()}", file=out)
+        _print_report(ok, report, out)
+        return 0 if ok else 1
+
+    failures = 0
+    for i in range(cases):
+        case_seed = seed * 1_000_003 + i
+        case = generate_case(random.Random(case_seed), seed=case_seed)
+        ok, report = run_case(case, sanitize)
+        status = "ok" if ok else "FAIL"
+        print(f"[{i + 1:3d}/{cases}] {status:4s} "
+              f"({report.get('mode', 'error'):>11s}) {case.describe()}",
+              file=out)
+        if not ok:
+            failures += 1
+            _print_report(ok, report, out)
+            shrunk = shrink_case(case, sanitize)
+            if shrunk.to_json() != case.to_json():
+                print(f"  shrunk to: {shrunk.describe()}", file=out)
+            print("  reproduce with:", file=out)
+            print(f"    python -m repro fuzz --case '{shrunk.to_json()}'",
+                  file=out)
+    if failures:
+        print(f"{failures}/{cases} cases failed", file=out)
+        return 1
+    print(f"all {cases} cases passed", file=out)
+    return 0
+
+
+def _print_report(ok: bool, report: Dict, out) -> None:
+    if ok:
+        print(f"  ok ({report.get('mode')}), digest "
+              f"{str(report.get('digest'))[:16]}...", file=out)
+        return
+    if "error" in report:
+        print(f"  error: {report['error']}", file=out)
+    for line in report.get("mismatches", ()):
+        print(f"  mismatch: {line}", file=out)

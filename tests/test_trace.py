@@ -5,7 +5,8 @@ import dataclasses
 import pytest
 
 from repro.arch import build_machine, shared_mesh
-from repro.harness.trace import Tracer
+from repro.harness.trace import (Tracer, _canonical_task, merge_traces,
+                                 trace_digest)
 from repro.workloads import get_workload
 
 from conftest import fanout_root
@@ -124,3 +125,93 @@ class TestAnalysis:
         chart = tracer.render_gantt(cores=[0])
         assert "core 0" in chart
         assert "core 1" not in chart
+
+
+class TestOpenSpanFlush:
+    """Regression: tasks still executing when a run stops (vtime horizon
+    or end-of-run) used to vanish from ``export()`` and
+    ``core_utilization()`` because their spans never closed."""
+
+    @staticmethod
+    def chunked_root(chunks=10000, cycles=50.0):
+        # Many small compute actions: the slice budget interrupts the
+        # task *between* actions, so when the vtime horizon stops the
+        # run the task is still current and its span still open.  (A
+        # single long compute would be fused into one action and finish
+        # within one slice, closing the span.)
+        def root(ctx):
+            for _ in range(chunks):
+                yield ctx.compute(cycles=cycles)
+            return "done"
+
+        return root
+
+    def stopped_run(self, **kwargs):
+        machine = build_machine(shared_mesh(8))
+        tracer = Tracer(machine)
+        machine.run(self.chunked_root(), stop_at_vtime=5000.0, **kwargs)
+        return machine, tracer
+
+    def test_premise_spans_are_still_open(self):
+        _, tracer = self.stopped_run()
+        assert tracer._open, (
+            "the stop_at_vtime horizon was meant to interrupt running "
+            "children; if this fires the scenario needs a longer child")
+
+    def test_export_includes_open_spans(self):
+        _, tracer = self.stopped_run()
+        open_cores = set(tracer._open)
+        exported = tracer.export()
+        flushed = [s for s in exported["spans"]
+                   if s["core"] in open_cores]
+        assert flushed
+        for span in exported["spans"]:
+            assert span["end"] >= span["start"]
+
+    def test_utilization_sees_open_spans(self):
+        machine = build_machine(shared_mesh(4))
+        tracer = Tracer(machine)
+        machine.run(self.chunked_root(), stop_at_vtime=5000.0)
+        # The only span in the whole run is still open; before the fix
+        # utilization reported an all-idle machine.
+        assert tracer._open
+        assert not tracer.spans
+        assert tracer.core_utilization()[0] > 0.0
+
+    def test_export_is_repeatable_and_non_mutating(self):
+        _, tracer = self.stopped_run()
+        n_open = len(tracer._open)
+        first = tracer.export()
+        second = tracer.export()
+        assert first == second
+        assert len(tracer._open) == n_open
+        assert all(s.end >= s.start for s in tracer.spans)
+
+
+class TestCanonicalDigest:
+    def run_trace(self, seed=0):
+        machine = build_machine(shared_mesh(8))
+        tracer = Tracer(machine)
+        workload = get_workload("quicksort", scale="tiny", seed=seed)
+        machine.run(workload.root)
+        return tracer.export()
+
+    def test_canonical_task_strips_tid(self):
+        assert _canonical_task("child#17") == "child"
+        assert _canonical_task("child") == "child"
+        assert _canonical_task("weird#name") == "weird#name"
+
+    def test_digest_stable_across_identical_runs(self):
+        assert trace_digest(self.run_trace()) == \
+            trace_digest(self.run_trace())
+
+    def test_digest_sensitive_to_events(self):
+        trace = self.run_trace()
+        baseline = trace_digest(trace)
+        trace["spans"][0]["end"] += 1.0
+        assert trace_digest(trace) != baseline
+
+    def test_merge_is_order_independent_under_digest(self):
+        a, b = self.run_trace(seed=0), self.run_trace(seed=1)
+        assert trace_digest(merge_traces([a, b])) == \
+            trace_digest(merge_traces([b, a]))
