@@ -123,6 +123,11 @@ def build_machine(cfg: ArchConfig) -> Machine:
         from ..parallel.partition import contiguous_partition
 
         machine.fence = contiguous_partition(topo, cfg.shards)
+    if cfg.telemetry:
+        from ..obs import Telemetry
+
+        # Before runtime attach: Runtime caches machine.telemetry.
+        machine.attach_telemetry(Telemetry(cfg.telemetry, cfg.n_cores))
     machine.attach_memory(build_memory(cfg))
     machine.attach_runtime(
         Runtime(

@@ -134,9 +134,25 @@ class ArchConfig:
     sanitize: bool = False
     collect_trace: bool = False
 
+    # Observability (repro.obs).  Non-empty ``telemetry`` attaches the
+    # structured-metrics registry to every machine the build produces
+    # (serial and per-worker; snapshots merge coordinator-side like
+    # stats do): "all" or a comma list of "counters", "timeline",
+    # "profile".  Telemetry is observation-only — results stay
+    # bit-identical with it on — and costs nothing when off beyond one
+    # cached attribute check per hot-path guard.
+    telemetry: str = ""
+
     def __post_init__(self) -> None:
         if self.n_cores < 1:
             raise SimConfigError("need at least one core")
+        if self.telemetry:
+            from ..obs.registry import parse_spec
+
+            try:
+                parse_spec(self.telemetry)
+            except ValueError as exc:
+                raise SimConfigError(str(exc)) from None
         if self.memory not in ("shared", "distributed", "numa"):
             raise SimConfigError(f"unknown memory organization {self.memory!r}")
         if self.topology not in ("mesh", "clustered", "ring", "torus", "crossbar"):

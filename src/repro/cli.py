@@ -2,6 +2,8 @@
 
     python -m repro list
     python -m repro run dijkstra --cores 64 --memory shared --scale small
+    python -m repro run quicksort --telemetry --telemetry-out /tmp/obs
+    python -m repro obs summarize /tmp/obs
     python -m repro sweep fig8 --sizes 1,8,64 --scale tiny
     python -m repro policies quicksort --cores 64
     python -m repro fuzz --cases 25 --seed 0
@@ -11,7 +13,8 @@
 headline numbers; ``sweep`` regenerates a figure/table of the paper's
 evaluation; ``policies`` compares all sync policies on one benchmark;
 ``fuzz`` differentially tests the serial and sharded backends against
-each other (see docs/testing.md).
+each other (see docs/testing.md); ``obs summarize`` renders the metrics
+a ``--telemetry-out`` run wrote (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -97,6 +100,23 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime invariant sanitizer (drift "
                           "bound, causal delivery, publish monotonicity; "
                           "~2x slower)")
+    run.add_argument("--telemetry", nargs="?", const="all", default=None,
+                     metavar="PARTS",
+                     help="enable observability (repro.obs): 'all' or a "
+                          "comma list of counters,timeline,profile")
+    run.add_argument("--telemetry-out", default=None, metavar="DIR",
+                     help="write metrics.json / timeline.json under DIR "
+                          "(implies --telemetry all)")
+
+    obs = sub.add_parser("obs", help="inspect telemetry a run wrote")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser(
+        "summarize", help="render top counters, histograms and the "
+                          "profile from a metrics.json")
+    summ.add_argument("path",
+                      help="metrics.json or a --telemetry-out directory")
+    summ.add_argument("--top", type=int, default=12,
+                      help="how many counters to show (default 12)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -203,6 +223,20 @@ def _make_config(args):
         overrides["round_batch"] = args.round_batch
     if getattr(args, "sanitize", False):
         overrides["sanitize"] = True
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None and getattr(args, "telemetry_out", None):
+        telemetry = "all"
+    if telemetry:
+        from .obs import parse_spec
+
+        try:
+            parts = parse_spec(telemetry)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        overrides["telemetry"] = telemetry
+        if "timeline" in parts and args.backend == "sharded":
+            # Workers only record spans when the machine collects traces.
+            overrides["collect_trace"] = True
     return dataclasses.replace(
         cfg, drift_bound=args.drift, sync=args.sync, dispatch=args.dispatch,
         seed=args.seed, backend=args.backend, shards=args.shards,
@@ -214,6 +248,7 @@ def _cmd_run(args, out) -> int:
     cfg = _make_config(args)
     workload = get_workload(args.benchmark, scale=args.scale, seed=args.seed,
                             memory=cfg.memory)
+    timeline = None
     if cfg.backend == "sharded":
         from .arch import build_backend
         from .parallel import WorkloadSpec
@@ -224,10 +259,34 @@ def _cmd_run(args, out) -> int:
             WorkloadSpec(args.benchmark, scale=args.scale, seed=args.seed,
                          memory=cfg.memory, root_core=0)])
         stats = backend.stats
+        if backend.telemetry is not None and cfg.collect_trace:
+            from .obs import build_chrome_trace
+
+            timeline = build_chrome_trace(
+                trace=backend.trace, host_rounds=backend.worker_rounds,
+                coord_events=backend.events)
     else:
         machine = build_machine(cfg)
-        result = machine.run(workload.root)
+        backend = machine
+        tracer = None
+        profiler = None
+        tel = machine.telemetry
+        if tel is not None and "timeline" in tel.parts:
+            from .harness.trace import Tracer
+
+            tracer = Tracer(machine)
+        if tel is not None and "profile" in tel.parts:
+            from .obs import SamplingProfiler
+
+            profiler = SamplingProfiler(tel).start()
+        try:
+            result = machine.run(workload.root)
+        finally:
+            if profiler is not None:
+                profiler.stop()
         stats = machine.stats
+        if tracer is not None:
+            timeline = tracer.to_chrome()
     workload.verify(result["output"])
     print(f"benchmark        : {args.benchmark} {workload.meta}", file=out)
     print(f"architecture     : {cfg.name} sync={cfg.sync} T={cfg.drift_bound}",
@@ -245,6 +304,25 @@ def _cmd_run(args, out) -> int:
         print(f"boundary bytes   : {proto['bytes_shipped']}", file=out)
         print(f"parallel eff.    : {proto['parallel_efficiency']:.1%}",
               file=out)
+    if cfg.telemetry:
+        from .obs import collect_snapshot, write_outputs
+
+        snapshot = collect_snapshot(backend)
+        if snapshot is not None:
+            counters = snapshot.get("counters", {})
+            actions = sum(v for k, v in counters.items()
+                          if k.startswith("engine.actions."))
+            print(f"telemetry        : {len(counters)} counters "
+                  f"({actions} actions), "
+                  f"{len(snapshot.get('histograms', {}))} histograms",
+                  file=out)
+            if args.telemetry_out:
+                written = write_outputs(args.telemetry_out, snapshot,
+                                        timeline)
+                for name, path in sorted(written.items()):
+                    print(f"  wrote {name:8s} : {path}", file=out)
+                print(f"  (summarize with: python -m repro obs summarize "
+                      f"{args.telemetry_out})", file=out)
     if args.baseline:
         base_cfg = dataclasses.replace(cfg, n_cores=1, polymorphic=False,
                                        topology="mesh", name="single-core",
@@ -350,6 +428,19 @@ def _cmd_bench(args, out) -> int:
     return 0
 
 
+def _cmd_obs(args, out) -> int:
+    from .obs import load_metrics, summarize_metrics
+
+    try:
+        snapshot = load_metrics(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load metrics from {args.path!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(summarize_metrics(snapshot, top=args.top), file=out)
+    return 0
+
+
 def _cmd_policies(args, out) -> int:
     from .harness import sync_policy_ablation
     from .harness.report import format_table
@@ -389,6 +480,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_sweep(args, out)
         if args.command == "policies":
             return _cmd_policies(args, out)
+        if args.command == "obs":
+            return _cmd_obs(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
     except BrokenPipeError:  # downstream pager/head closed; not an error

@@ -235,6 +235,13 @@ class Machine:
         #: never consults it — the sanitizer hooks in from outside — but
         #: the worker/CLI layers use it to drive round-scoped checks.
         self.sanitizer = None
+        #: Opt-in telemetry registry (``repro.obs.Telemetry``); set by the
+        #: builder when ``ArchConfig.telemetry`` is non-empty.  Every
+        #: hot-path instrumentation site guards on this being non-None,
+        #: so a machine without telemetry pays one attribute load per
+        #: guard and nothing else.  Telemetry is observation-only:
+        #: results are bit-identical with it on.
+        self.telemetry = None
         # Shard-execution scope (sharded backend): when set, only cores in
         # ``_owned`` are driven locally and messages to other cores are
         # handed to ``_foreign_sink`` instead of delivered (see
@@ -297,6 +304,12 @@ class Machine:
         self.runtime = runtime
         runtime.attach(self)
         self._on_core_idle = getattr(runtime, "on_core_idle", None)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind an opt-in telemetry registry (``repro.obs``).  Must run
+        before :meth:`attach_runtime` so the runtime can cache it."""
+        self.telemetry = telemetry
+        self.fabric.telemetry = telemetry
 
     def register_handler(
         self, kind: MsgKind, handler: Callable[[CoreUnit, Message], None]
@@ -575,6 +588,9 @@ class Machine:
         msg.arrival = arrival
         dest = self.cores[dst]
         dest.inbox_push(msg)
+        tel = self.telemetry
+        if tel is not None:
+            tel.inbox_hist.observe(len(dest.inbox))
         hook = self._on_event_enqueued
         if hook is not None:
             hook(dest)
@@ -614,6 +630,9 @@ class Machine:
             core.stalled = True
             self._stalled.add(core.cid)
             self.stats.drift_stalls += 1
+            tel = self.telemetry
+            if tel is not None:
+                tel.note_stall(core.cid, self.fabric)
 
     def _on_publish_increase(self, cid: int) -> None:
         """Fabric hook: a core's published time rose; wake stalled neighbours."""
@@ -635,6 +654,7 @@ class Machine:
     def _main_loop(self) -> None:
         stale_rescues = 0
         stop_at = self._stop_at_vtime
+        tel = self.telemetry
         while self.live_tasks > 0:
             if stop_at is not None and self.fabric.max_vtime >= stop_at:
                 return  # partial simulation requested
@@ -649,6 +669,9 @@ class Machine:
                 stale_rescues += 1
                 if stale_rescues > 2:
                     self._raise_deadlock()
+            if tel is not None:
+                tel.phase = "rescue"
+                tel.counters["engine.rescue_rounds"] += 1
             self.policy.on_no_runnable()
             self.fabric.refresh_shadows()
             if not self._push_all_stalled() and not self._ready:
@@ -801,6 +824,9 @@ class Machine:
         budget = self.params.slice_actions
         progressed = False
         reception_exempt = self._reception_exempt
+        tel = self.telemetry
+        if tel is not None:
+            tel.phase = "execute"
         while budget > 0:
             if not may_run(core):
                 # Message reception is simulator infrastructure: a spawned
@@ -856,6 +882,10 @@ class Machine:
             # entry would otherwise anchor the horizon forever) and gives
             # the run-time its idle hook (work stealing).
             self._go_idle(core)
+        if tel is not None and progressed:
+            # "Admitted" = the slice executed at least one unit; stall
+            # transitions are counted separately in _mark_stalled.
+            tel.note_slice(core.cid, self.fabric)
         return progressed
 
     def _pop_inbox(self, core: CoreUnit) -> Message:
@@ -918,6 +948,9 @@ class Machine:
             return msg
         dest = self.cores[dst]
         dest.inbox_push(msg)
+        tel = self.telemetry
+        if tel is not None:
+            tel.inbox_hist.observe(len(dest.inbox))
         hook = self._on_event_enqueued
         if hook is not None:
             hook(dest)
@@ -968,7 +1001,12 @@ class Machine:
         handler = self._handlers.get(msg.kind)
         if handler is None:
             raise SimError(f"no handler registered for {msg.kind}")
+        tel = self.telemetry
+        if tel is not None:
+            tel.phase = "service"
         handler(core, msg)
+        if tel is not None:
+            tel.phase = "execute"  # servicing happens inside a slice
         # Servicing consumed this message: refresh the policy's view of the
         # core's event horizon (its next pending event moved forward).
         hook = self._on_advance_hook
@@ -1139,6 +1177,7 @@ class Machine:
         if max_actions is not None and stats.actions > max_actions:
             raise SimError("max_host_actions exceeded (runaway simulation?)")
         consumed = 1
+        tel = self.telemetry
         if budget > 1 and self._fuse_compute and type(action) is Compute:
             # Fused run.  Per-action semantics are replicated exactly:
             # the core's vtime is written directly (so the policy's
@@ -1202,6 +1241,14 @@ class Machine:
                     break
             if charged:
                 fabric.commit(cid)
+            if tel is not None:
+                # Accounted at run end, not per fused step, so the fused
+                # loop itself stays untouched.
+                fused = consumed - (1 if pending is not None else 0)
+                tel.actions[Compute] += fused
+                tel.fusion_hist.observe(fused)
+                if pending is not None:
+                    tel.actions[type(pending)] += 1
             if finished:
                 self._finish_task(core, task)
             elif pending is not None:
@@ -1211,6 +1258,8 @@ class Machine:
                         f"task yielded unknown action {pending!r}")
                 handler(core, task, pending)
             return consumed
+        if tel is not None:
+            tel.actions[type(action)] += 1
         handler = self._action_handlers.get(type(action))
         if handler is None:
             raise SimError(f"task yielded unknown action {action!r}")
@@ -1299,18 +1348,14 @@ class Machine:
     def describe(self) -> str:
         """Human-readable summary of the machine configuration and state."""
         policy = self.policy
-        if policy.name == "spatial":
-            bound = f" (T={self.fabric.T:g})"
-        elif hasattr(policy, "quantum"):
-            bound = f" (quantum={policy.quantum:g})"
-        elif hasattr(policy, "slack"):
-            # Bounded-slack and LaxP2P both bound drift by a slack value.
-            bound = f" (slack={policy.slack:g})"
-        else:
-            bound = ""
+        label = policy.bound_label(self)
+        bound = f" ({label})" if label else ""
+        tel = self.telemetry
         lines = [
             f"Machine: {self.n_cores} cores on {self.topo.name}",
             f"  sync policy     : {self.policy.name}" + bound,
+            f"  telemetry       : "
+            f"{tel.describe() if tel is not None else 'off'}",
             f"  memory model    : {type(self.memory).__name__}",
             f"  shadow time     : "
             f"{'on (' + self.fabric.shadow_mode + ')' if self.fabric.shadow_enabled else 'off'}",

@@ -137,6 +137,9 @@ class VirtualTimeFabric:
         # busy machine most advances then skip the wave entirely.
         self._idle_nbr_count: List[int] = [
             len(nbrs) for nbrs in self._neighbors]
+        #: Opt-in telemetry registry (set via Machine.attach_telemetry).
+        #: Observation-only: guards cost one attribute load when off.
+        self.telemetry = None
 
     # -- core state transitions ------------------------------------------
     def set_active(self, cid: int, start_time: float) -> None:
@@ -215,6 +218,9 @@ class VirtualTimeFabric:
         vt = self.vtime[cid]
         if vt > self.max_vtime:
             self.max_vtime = vt
+        tel = self.telemetry
+        if tel is not None:
+            tel.counters["fabric.commits"] += 1
         if vt > self.published[cid]:
             self.published[cid] = vt
             self._notify(cid)
@@ -406,6 +412,9 @@ class VirtualTimeFabric:
 
     def _relax_up(self, cid: int) -> None:
         """Increase-only propagation of a published-time increase."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.relax_waves[cid] += 1
         pub = self.published
         active = self.active
         neighbors = self._neighbors
@@ -448,6 +457,10 @@ class VirtualTimeFabric:
         beats vectorization overheads.
         """
         self.shadow_recomputes += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.phase = "shadow_fixpoint"
+            tel.counters["fabric.shadow_recomputes"] += 1
         self._dirty = False
         if self.n_cores < 64 or self._min_degree == 0:
             self._full_recompute_heap()

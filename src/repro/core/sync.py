@@ -121,6 +121,13 @@ class SyncPolicy:
         """
         return False
 
+    def bound_label(self, machine: "Machine") -> str:
+        """Human-readable synchronization bound for ``describe()``
+        banners and telemetry summaries; "" when the policy has none
+        (unbounded) or none expressible as a single number
+        (conservative ordering)."""
+        return ""
+
 
 class SpatialSync(SyncPolicy):
     """The paper's spatial synchronization (Section II-A).
@@ -165,6 +172,9 @@ class SpatialSync(SyncPolicy):
             machine.stats.lock_waiver_runs += 1
             return True
         return False
+
+    def bound_label(self, machine: "Machine") -> str:
+        return f"T={machine.fabric.T:g}"
 
 
 class EventAnchoredPolicy(SyncPolicy):
@@ -297,6 +307,9 @@ class GlobalQuantumSync(EventAnchoredPolicy):
         self.epoch = new_epoch
         return True
 
+    def bound_label(self, machine: "Machine") -> str:
+        return f"quantum={self.quantum:g}"
+
 
 class BoundedSlackSync(EventAnchoredPolicy):
     """SlackSim's bounded slack: drift bounded against the global horizon."""
@@ -324,6 +337,9 @@ class BoundedSlackSync(EventAnchoredPolicy):
         if math.isinf(gmin):
             return True
         return t <= gmin + self.slack
+
+    def bound_label(self, machine: "Machine") -> str:
+        return f"slack={self.slack:g}"
 
 
 class LaxP2PSync(SyncPolicy):
@@ -380,6 +396,9 @@ class LaxP2PSync(SyncPolicy):
         ref = int(actives[self._rng.integers(len(actives))])
         if vt > fabric.published[ref] + self.slack:
             core.lax_ref = ref
+
+    def bound_label(self, machine: "Machine") -> str:
+        return f"slack={self.slack:g}"
 
 
 class UnboundedSync(SyncPolicy):

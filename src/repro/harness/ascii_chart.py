@@ -115,3 +115,29 @@ def _fmt_axis(value: float) -> str:
     if value == int(value):
         return str(int(value))
     return f"{value:.2g}"
+
+
+def render_histogram(bounds: Sequence[float], counts: Sequence[int],
+                     title: Optional[str] = None, width: int = 40) -> str:
+    """Render a bucketed histogram as horizontal ASCII bars.
+
+    ``bounds``/``counts`` follow the :class:`repro.obs.Histogram` layout:
+    bucket *i* counts observations ``<= bounds[i]`` and the final bucket
+    is overflow.  Zero-count buckets still get a row so the bucket
+    layout stays visible and diffable.
+    """
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} counts for {len(bounds)} bounds, "
+            f"got {len(counts)}")
+    labels = [f"<= {_fmt_axis(b)}" for b in bounds]
+    labels.append(f" > {_fmt_axis(bounds[-1])}" if bounds else "(all)")
+    pad = max(len(lab) for lab in labels)
+    peak = max(counts) if counts else 0
+    lines = [] if title is None else [title]
+    for label, count in zip(labels, counts):
+        bar = "#" * (round(count / peak * width) if peak else 0)
+        if count and not bar:
+            bar = "."  # nonzero but below one cell: keep it visible
+        lines.append(f"{label:>{pad}} |{bar:<{width}} {count}")
+    return "\n".join(lines)

@@ -110,6 +110,63 @@ def format_power_law(fits: Mapping[str, tuple]) -> str:
                         title="Power-law fit: simulation time ~ a * cores^b")
 
 
+def format_telemetry(snapshot: Dict, top: int = 12) -> str:
+    """Human-readable summary of a telemetry snapshot (``repro.obs``).
+
+    Renders the ``top`` largest counters as a table, every histogram as
+    ASCII bars, per-core vector totals, and the profiler's phase split
+    when present.  Accepts either a live ``Telemetry.snapshot()`` or a
+    coordinator-merged snapshot loaded from ``metrics.json``.
+    """
+    from .ascii_chart import render_histogram
+
+    lines: List[str] = []
+    spec = snapshot.get("spec")
+    if spec:
+        lines.append(f"telemetry spec: {spec}")
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        rows = [[name, value] for name, value in ranked[:top]]
+        lines.append(format_table(
+            ["counter", "value"], rows,
+            title=f"Top counters ({min(top, len(ranked))} of {len(ranked)})"))
+
+    for name, vec in sorted(snapshot.get("per_core", {}).items()):
+        nonzero = sum(1 for v in vec if v)
+        lines.append(f"{name}: total={sum(vec)} over {nonzero}/{len(vec)} "
+                     f"cores, max={max(vec, default=0)}")
+
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        lines.append("")
+        lines.append(render_histogram(hist["bounds"], hist["counts"],
+                                      title=f"{name} "
+                                            f"(n={sum(hist['counts'])})"))
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(format_table(
+            ["gauge (max)", "value"], sorted(gauges.items())))
+
+    profile = snapshot.get("profile")
+    if profile and profile.get("total_samples"):
+        total = profile["total_samples"]
+        lines.append("")
+        rows = [
+            [phase, n, 100.0 * n / total]
+            for phase, n in sorted(profile["samples"].items(),
+                                   key=lambda kv: (-kv[1], kv[0]))
+        ]
+        lines.append(format_table(
+            ["phase", "samples", "%"], rows,
+            title=f"Wall-clock profile ({total} samples @ "
+                  f"{profile['interval_s'] * 1e3:g} ms)"))
+
+    return "\n".join(lines) if lines else "(empty telemetry snapshot)"
+
+
 def dump_csv(curves: Mapping[str, Mapping[int, float]],
              sizes: Sequence[int]) -> str:
     """CSV export of a curve family (for external plotting)."""

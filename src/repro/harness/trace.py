@@ -198,6 +198,18 @@ class Tracer:
             "messages": [m.as_dict() for m in self.messages],
         }
 
+    def to_chrome(self, **kwargs) -> Dict[str, Any]:
+        """Export as a Chrome ``trace_event`` document (Perfetto-loadable).
+
+        Convenience wrapper over
+        :func:`repro.obs.chrome_trace.build_chrome_trace`; keyword
+        arguments (``host_rounds``, ``coord_events``,
+        ``include_messages``) pass straight through.
+        """
+        from ..obs.chrome_trace import build_chrome_trace
+
+        return build_chrome_trace(trace=self.export(), **kwargs)
+
     # -- rendering ---------------------------------------------------------
     def render_gantt(self, width: int = 72,
                      cores: Optional[List[int]] = None) -> str:

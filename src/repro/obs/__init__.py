@@ -1,0 +1,75 @@
+"""Observability subsystem: telemetry registry, Chrome traces, profiler.
+
+Opt-in via ``ArchConfig.telemetry`` (CLI ``--telemetry[=spec]``); see
+``docs/observability.md`` for the full story.  Everything here is
+observation-only — enabling telemetry never changes simulation results
+(golden numbers are pinned with it on in ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .chrome_trace import build_chrome_trace, validate_chrome_trace
+from .profiler import SamplingProfiler, profile_phases
+from .registry import (TELEMETRY_PARTS, Histogram, MetricsRegistry, Telemetry,
+                       merge_snapshots, parse_spec)
+
+__all__ = [
+    "TELEMETRY_PARTS", "Histogram", "MetricsRegistry", "Telemetry",
+    "merge_snapshots", "parse_spec", "build_chrome_trace",
+    "validate_chrome_trace", "SamplingProfiler", "profile_phases",
+    "collect_snapshot", "write_outputs", "load_metrics",
+    "summarize_metrics",
+]
+
+
+def collect_snapshot(backend) -> Optional[dict]:
+    """Uniform snapshot access: sharded backends expose a merged
+    ``telemetry_snapshot()``; a serial machine carries ``.telemetry``."""
+    getter = getattr(backend, "telemetry_snapshot", None)
+    if getter is not None:
+        return getter()
+    telemetry = getattr(backend, "telemetry", None)
+    return telemetry.snapshot() if telemetry is not None else None
+
+
+def write_outputs(out_dir: str, metrics: Optional[dict] = None,
+                  timeline: Optional[dict] = None) -> dict:
+    """Write ``metrics.json`` / ``timeline.json`` under ``out_dir``
+    (created if missing); returns ``{name: path}`` for what was written."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = {}
+    if metrics is not None:
+        path = os.path.join(out_dir, "metrics.json")
+        with open(path, "w") as fh:
+            json.dump(metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written["metrics"] = path
+    if timeline is not None:
+        validate_chrome_trace(timeline)
+        path = os.path.join(out_dir, "timeline.json")
+        with open(path, "w") as fh:
+            json.dump(timeline, fh)
+        written["timeline"] = path
+    return written
+
+
+def load_metrics(path: str) -> dict:
+    """Load a metrics snapshot from a ``metrics.json`` file or a
+    ``--telemetry-out`` directory containing one."""
+    if os.path.isdir(path):
+        path = os.path.join(path, "metrics.json")
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def summarize_metrics(snapshot: dict, top: int = 12) -> str:
+    """Human-readable digest of a snapshot: top counters, per-core
+    totals, histograms and the profile — the body of
+    ``python -m repro obs summarize``."""
+    from ..harness.report import format_telemetry
+
+    return format_telemetry(snapshot, top=top)

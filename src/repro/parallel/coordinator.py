@@ -66,6 +66,7 @@ from ..core.errors import (SanitizerViolation, SimConfigError, SimDeadlock,
                            SimError)
 from ..core.fabric import INF, exact_shadow_fixpoint
 from ..core.stats import SimStats
+from ..obs.registry import ROUND_MS_BOUNDS, WINDOW_BOUNDS
 from .channels import (SharedRoundBoard, WorkloadSpec, make_edge_channels,
                        resolve_start_method)
 from .partition import Partition, contiguous_partition
@@ -141,6 +142,20 @@ class ShardedMachine:
         #: :func:`repro.harness.trace.merge_traces` concatenates them for
         #: :func:`~repro.harness.trace.trace_digest`.  ``None`` otherwise.
         self.trace = None
+        #: Coordinator-side telemetry (``cfg.telemetry``): merged with
+        #: per-worker snapshots in :meth:`_finalize`, exposed via
+        #: :meth:`telemetry_snapshot`.  ``worker_rounds`` maps shard id
+        #: to that worker's ``(round_no, start_s, dur_s)`` host-round
+        #: records and ``events`` holds coordinator escalation instants
+        #: (wall clock) — both feed the Chrome-trace export.
+        self.telemetry = None
+        self.worker_rounds: Dict[int, list] = {}
+        self.events: List[dict] = []
+        self._merged_obs: Optional[dict] = None
+        if cfg.telemetry:
+            from ..obs import Telemetry
+
+            self.telemetry = Telemetry(cfg.telemetry, cfg.n_cores)
         self._board: Optional[SharedRoundBoard] = None
         self._ran = False
 
@@ -166,6 +181,15 @@ class ShardedMachine:
                 raise SimConfigError(
                     f"root core {spec.root_core} out of range")
         t_start = time.perf_counter()
+        self._t0 = t_start  # wall-clock origin for telemetry events
+        self._profiler = None
+        if (self.telemetry is not None
+                and "profile" in self.telemetry.parts):
+            from ..obs.profiler import SamplingProfiler
+
+            # Samples coordinator phases (dispatch/wait_workers/
+            # coordinate); each worker runs its own profiler in-process.
+            self._profiler = SamplingProfiler(self.telemetry).start()
         mp_ctx = multiprocessing.get_context(
             resolve_start_method(self.cfg.worker_start_method))
         part = self.partition
@@ -201,6 +225,9 @@ class ShardedMachine:
             board.close()
             board.unlink()
             self._board = None
+            if self._profiler is not None:  # error path; normal stop is
+                self._profiler.stop()       # in _finalize, pre-merge
+                self._profiler = None
         self.stats.wall_seconds = wall = time.perf_counter() - t_start
         busy = self.protocol.get("worker_busy_s", 0.0)
         slots = min(part.n_shards, os.cpu_count() or 1)
@@ -242,17 +269,38 @@ class ShardedMachine:
         #   stall 3 — even the forced slice produced nothing: genuine
         #             deadlock (there is no work left to force).
         stall = 0
+        tel = self.telemetry
+        if tel is not None:
+            window_hist = tel.registry.histogram(
+                "parallel.window", WINDOW_BOUNDS)
+            round_hist = tel.registry.histogram(
+                "parallel.round_wall_ms", ROUND_MS_BOUNDS)
         while True:
             waive_sid = None
             if spatial and stall >= 2:
                 waive_sid = min(range(len(ctrl)),
                                 key=lambda i: statuses[i][4])
                 self.waivers += 1
+                if tel is not None:
+                    self.events.append(
+                        {"name": "waiver",
+                         "ts_s": time.perf_counter() - self._t0,
+                         "shard": waive_sid})
             if cfg.sanitize:
                 self._check_lift(lift)
+            round_t0 = time.perf_counter()
+            if tel is not None:
+                tel.phase = "dispatch"
             for sid, conn in enumerate(ctrl):
                 conn.send(("go", horizon, lift, sid == waive_sid))
+            if tel is not None:
+                tel.phase = "wait_workers"
             statuses = [self._expect(conn, "status", timeout) for conn in ctrl]
+            if tel is not None:
+                tel.phase = "coordinate"
+                window_hist.observe(window)
+                round_hist.observe(
+                    (time.perf_counter() - round_t0) * 1e3)
             self.rounds += 1
             live = sum(s[3] for s in statuses)
             if live == 0:
@@ -270,6 +318,10 @@ class ShardedMachine:
                     self._deadlock(live, statuses)
                 if stall == 1:
                     self.reliefs += 1
+                    if tel is not None:
+                        self.events.append(
+                            {"name": "relief",
+                             "ts_s": time.perf_counter() - self._t0})
             if adaptive:
                 # Quiet round: nothing crossed a boundary, so shards are
                 # provably independent up to the current permissions —
@@ -348,6 +400,7 @@ class ShardedMachine:
         bytes_by_edge: Dict[str, int] = {}
         busy_total = 0.0
         traces = []
+        obs_snaps = []
         for sid, conn in enumerate(ctrl):
             reply = self._expect(conn, "done", timeout)
             worker_stats.append(reply[1])
@@ -359,6 +412,12 @@ class ShardedMachine:
             busy_total += reply[5]
             if reply[6] is not None:
                 traces.append(reply[6])
+            # The telemetry snapshot is the (optional) 8th element; stub
+            # workers in the protocol tests send 7-tuples.
+            snap = reply[7] if len(reply) > 7 else None
+            if snap is not None:
+                self.worker_rounds[sid] = snap.pop("host_rounds", [])
+                obs_snaps.append(snap)
         if traces:
             from ..harness.trace import merge_traces
 
@@ -379,7 +438,33 @@ class ShardedMachine:
             "bytes_shipped": sum(bytes_by_edge.values()),
             "worker_busy_s": round(busy_total, 6),
         }
+        tel = self.telemetry
+        if tel is not None:
+            from ..obs import merge_snapshots
+
+            if self._profiler is not None:
+                self._profiler.stop()  # lands in tel.profile pre-snapshot
+                self._profiler = None
+
+            # Mirror the protocol counters into the registry so one
+            # metrics.json tells the whole story, then fold the worker
+            # snapshots in exactly like stats merge above.
+            counters = tel.counters
+            counters["parallel.rounds"] += self.rounds
+            counters["parallel.rescues"] += self.rescues
+            counters["parallel.reliefs"] += self.reliefs
+            counters["parallel.waivers"] += self.waivers
+            counters["parallel.bytes_shipped"] += sum(bytes_by_edge.values())
+            for edge, nbytes in bytes_by_edge.items():
+                counters[f"parallel.bytes_edge.{edge}"] += nbytes
+            tel.registry.gauge_max("parallel.window_peak", self.window_peak)
+            self._merged_obs = merge_snapshots([tel.snapshot()] + obs_snaps)
         return [results[i] for i in range(len(specs))]
+
+    def telemetry_snapshot(self) -> Optional[dict]:
+        """Merged telemetry (coordinator + workers); ``None`` when
+        ``cfg.telemetry`` is off or the run has not finished."""
+        return self._merged_obs
 
     def _merge_stats(self, worker_stats, finishes) -> None:
         merged = self.stats
@@ -460,6 +545,8 @@ class ShardedMachine:
         extras = f"batch={cfg.round_batch}"
         if cfg.adaptive_window and cfg.sync == "spatial":
             extras += f", window<=x{cfg.window_max_factor:g}"
+        if self.telemetry is not None:
+            extras += f", telemetry {self.telemetry.describe()}"
         return (f"sharded backend: {self.partition.describe()}, "
                 f"sync={cfg.sync} T={cfg.drift_bound}, {extras}, "
                 f"start={resolve_start_method(cfg.worker_start_method)}")

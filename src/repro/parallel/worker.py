@@ -114,6 +114,13 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
 
     fabric = machine.fabric
     sanitizer = machine.sanitizer
+    telemetry = machine.telemetry  # set by the builder when cfg.telemetry
+    t_base = None  # wall-clock origin for this worker's host-round track
+    profiler = None
+    if telemetry is not None and "profile" in telemetry.parts:
+        from ..obs.profiler import SamplingProfiler
+
+        profiler = SamplingProfiler(telemetry).start()
     tracer = None
     if cfg.collect_trace:
         from ..harness.trace import Tracer
@@ -133,6 +140,8 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
             op = cmd[0]
             if op == "go":
                 t0 = time.perf_counter()
+                if t_base is None:
+                    t_base = t0
                 _, horizon, lift, waive = cmd
                 if sanitizer is not None:
                     sanitizer.begin_round(lift, cfg.window_max_factor)
@@ -210,7 +219,12 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                 else:
                     counts[cur, sid, :] = 0
                 round_no += 1
-                busy += time.perf_counter() - t0
+                dt = time.perf_counter() - t0
+                busy += dt
+                if telemetry is not None:
+                    telemetry.host_rounds.append((round_no - 1,
+                                                  t0 - t_base, dt))
+                    telemetry.phase = "idle"  # waiting for the next "go"
                 ctrl_conn.send(("status", progressed, sent,
                                 machine.live_tasks,
                                 machine.shard_min_time()))
@@ -219,8 +233,12 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                 results = {i: task.result for i, task in roots}
                 finishes = {i: task.finish_time for i, task in roots}
                 trace = tracer.export() if tracer is not None else None
+                if profiler is not None:
+                    profiler.stop()  # folds samples into the snapshot
+                obs = (telemetry.snapshot()
+                       if telemetry is not None else None)
                 ctrl_conn.send(("done", machine.stats, results, finishes,
-                                bytes_to, busy, trace))
+                                bytes_to, busy, trace, obs))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise RuntimeError(f"unknown coordinator command {op!r}")

@@ -47,6 +47,7 @@ class Runtime:
         self.steals_attempted = 0
         self.steals_successful = 0
         self.machine = None
+        self._obs = None  # telemetry; rebound from the machine in attach()
         # Per-core run-time neighbourhood: the full topological
         # neighbours, or the shard-local subset when the machine is
         # fenced (see attach()).
@@ -63,6 +64,9 @@ class Runtime:
     # -- wiring ---------------------------------------------------------
     def attach(self, machine) -> None:
         self.machine = machine
+        # Opt-in telemetry (repro.obs), attached before the runtime by
+        # the builder; every use below guards on ``is not None``.
+        self._obs = machine.telemetry
         n = machine.n_cores
         fence = machine.fence
         if fence is None:
@@ -106,10 +110,15 @@ class Runtime:
         params = machine.params
         machine.advance_by(core, core.scaled(params.probe_check_cycles))
         target = self._pick_target(core)
+        tel = self._obs
         if target is None:
             machine.stats.tasks_run_inline += 1
+            if tel is not None:
+                tel.counters["runtime.spawn_inline_no_target"] += 1
             task.resume_value = False
             return
+        if tel is not None:
+            tel.counters["runtime.spawn_probes"] += 1
         # Send the reservation; the probing task blocks for the round trip.
         suspended = machine.suspend_current(core, "probe")
         machine.send_with_overhead(
@@ -146,6 +155,9 @@ class Runtime:
 
     def _on_probe_ack(self, core, msg) -> None:
         machine = self.machine
+        tel = self._obs
+        if tel is not None:
+            tel.counters["runtime.spawn_remote"] += 1
         parent_task, action = msg.payload
         birth = machine.service_now(core)
         child = Task(
@@ -168,6 +180,9 @@ class Runtime:
 
     def _on_probe_nack(self, core, msg) -> None:
         machine = self.machine
+        tel = self._obs
+        if tel is not None:
+            tel.counters["runtime.spawn_denied"] += 1
         payload, occupancy = msg.payload
         parent_task, action = payload
         self._proxy[core.cid][msg.src] = occupancy
@@ -285,6 +300,9 @@ class Runtime:
         machine = self.machine
         self._steal_pending[core.cid] = True
         self.steals_attempted += 1
+        tel = self._obs
+        if tel is not None:
+            tel.counters["runtime.steals_attempted"] += 1
         machine.send_message_at(
             MsgKind.STEAL_REQUEST, core, victim,
             machine.fabric.vtime[core.cid], payload=core.cid,
@@ -315,6 +333,9 @@ class Runtime:
         if task is None:
             return
         self.steals_successful += 1
+        tel = self._obs
+        if tel is not None:
+            tel.counters["runtime.steals_successful"] += 1
         task.ready_time = machine.service_now(core)
         task.core = core.cid
         core.queue.append(task)
@@ -339,6 +360,9 @@ class Runtime:
             task.resume_value = None
         else:
             lock.contended_acquisitions += 1
+            tel = self._obs
+            if tel is not None:
+                tel.counters["runtime.lock_contended"] += 1
             suspended = machine.suspend_current(core, "lock")
             lock.waiters.append(suspended)
 
@@ -405,6 +429,9 @@ class Runtime:
             )
         else:
             lock.contended_acquisitions += 1
+            tel = self._obs
+            if tel is not None:
+                tel.counters["runtime.lock_contended"] += 1
             lock.waiters.append(task)
 
     def _on_lock_grant(self, core, msg) -> None:

@@ -1,0 +1,433 @@
+"""Observability subsystem tests (``repro.obs``).
+
+Covers the four contracts the subsystem makes:
+
+1. **Registry/merge semantics** — counters and histogram buckets sum,
+   per-core vectors add element-wise, gauges take the max; a sharded
+   run's merged snapshot agrees with a serial run of the same fenced
+   configuration on every backend-independent counter.
+2. **Chrome-trace export** — the timeline document is schema-valid
+   ``trace_event`` JSON and survives a JSON round-trip.
+3. **Profiler overhead** — the sampling profiler costs < 5 % wall clock.
+4. **Zero perturbation** — golden numbers stay bit-identical with
+   telemetry fully enabled, under both backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+import time
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+import test_golden_numbers as golden  # noqa: E402
+
+from repro.arch import build_backend, build_machine, shared_mesh  # noqa: E402
+from repro.arch.config import SimConfigError  # noqa: E402
+from repro.harness.ascii_chart import render_histogram  # noqa: E402
+from repro.harness.trace import Tracer  # noqa: E402
+from repro.obs import (  # noqa: E402
+    TELEMETRY_PARTS,
+    Histogram,
+    MetricsRegistry,
+    SamplingProfiler,
+    Telemetry,
+    build_chrome_trace,
+    collect_snapshot,
+    load_metrics,
+    merge_snapshots,
+    parse_spec,
+    summarize_metrics,
+    validate_chrome_trace,
+    write_outputs,
+)
+from repro.workloads import get_workload  # noqa: E402
+
+
+def _telemetry_cfg(cfg, spec="all"):
+    return dataclasses.replace(cfg, telemetry=spec)
+
+
+def _run_serial(benchmark="quicksort", scale="tiny", cores=16, spec="all"):
+    cfg = _telemetry_cfg(shared_mesh(cores), spec)
+    workload = get_workload(benchmark, scale=scale, seed=0, memory="shared")
+    machine = build_machine(cfg)
+    result = machine.run(workload.root)
+    workload.verify(result["output"])
+    return machine, result
+
+
+# -- spec parsing ---------------------------------------------------------
+
+
+class TestParseSpec:
+    def test_off_values(self):
+        assert parse_spec("") == frozenset()
+        assert parse_spec(None) == frozenset()
+        assert parse_spec(False) == frozenset()
+
+    def test_all_aliases(self):
+        for spec in ("all", "on", "1", "true", True):
+            assert parse_spec(spec) == frozenset(TELEMETRY_PARTS)
+
+    def test_subset(self):
+        assert parse_spec("counters") == frozenset(["counters"])
+        assert parse_spec("counters, profile") == frozenset(
+            ["counters", "profile"])
+
+    def test_unknown_part_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry part"):
+            parse_spec("counters,bogus")
+
+    def test_config_validates_spec(self):
+        with pytest.raises(SimConfigError, match="unknown telemetry part"):
+            dataclasses.replace(shared_mesh(4), telemetry="nope")
+
+
+# -- registry + merge semantics -------------------------------------------
+
+
+class TestRegistryMerge:
+    def test_counters_and_vectors_sum(self):
+        a = MetricsRegistry(4)
+        b = MetricsRegistry(4)
+        a.counters["x"] += 3
+        b.counters["x"] += 4
+        b.counters["y"] += 1
+        va = a.counter_vec("v")
+        vb = b.counter_vec("v")
+        va[0] = 1
+        vb[0] = 2
+        vb[3] = 5
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"x": 7, "y": 1}
+        assert merged["per_core"]["v"] == [3, 0, 0, 5]
+
+    def test_vector_length_padding(self):
+        a = MetricsRegistry(2)
+        b = MetricsRegistry(4)
+        a.counter_vec("v")[1] = 1
+        b.counter_vec("v")[3] = 2
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["per_core"]["v"] == [0, 1, 0, 2]
+        assert merged["n_cores"] == 4
+
+    def test_histograms_sum_and_gauges_max(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in (1, 5, 100):
+            a.histogram("h", (2, 10)).observe(v)
+        b.histogram("h", (2, 10)).observe(7)
+        a.gauge_max("g", 3)
+        b.gauge_max("g", 9)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["histograms"]["h"]["counts"] == [1, 2, 1]
+        assert merged["gauges"]["g"] == 9
+
+    def test_bounds_mismatch_rejected(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("h", (1, 2)).observe(0)
+        b.histogram("h", (1, 3)).observe(0)
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_schema_mismatch_rejected(self):
+        snap = MetricsRegistry().snapshot()
+        snap["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            merge_snapshots([snap])
+
+    def test_merge_skips_missing_snapshots(self):
+        a = MetricsRegistry()
+        a.counters["x"] += 1
+        merged = merge_snapshots([None, a.snapshot(), {}])
+        assert merged["counters"] == {"x": 1}
+
+    def test_profile_totals_recomputed(self):
+        pa = {"schema": 1, "counters": {}, "profile": {
+            "interval_s": 0.005, "total_samples": 2,
+            "samples": {"execute": 2}}}
+        pb = {"schema": 1, "counters": {}, "profile": {
+            "interval_s": 0.005, "total_samples": 3,
+            "samples": {"execute": 1, "idle": 2}}}
+        merged = merge_snapshots([pa, pb])
+        assert merged["profile"]["samples"] == {"execute": 3, "idle": 2}
+        assert merged["profile"]["total_samples"] == 5
+
+    def test_histogram_bucket_edges(self):
+        h = Histogram((1, 10))
+        for v in (0, 1, 2, 10, 11):
+            h.observe(v)
+        # <=1: {0, 1}; <=10: {2, 10}; overflow: {11}
+        assert h.counts == [2, 2, 1]
+
+
+# -- live instrumentation -------------------------------------------------
+
+
+class TestSerialInstrumentation:
+    def test_action_counters_match_stats(self):
+        machine, _ = _run_serial()
+        snap = machine.telemetry.snapshot()
+        total = sum(v for k, v in snap["counters"].items()
+                    if k.startswith("engine.actions."))
+        assert total == machine.stats.actions
+
+    def test_stall_vector_matches_stats(self):
+        machine, _ = _run_serial(scale="small")
+        snap = machine.telemetry.snapshot()
+        stalls = snap["per_core"].get("sync.drift_stalls", [])
+        assert sum(stalls) == machine.stats.drift_stalls
+
+    def test_describe_reports_telemetry(self):
+        machine, _ = _run_serial(spec="counters")
+        text = machine.describe()
+        assert "telemetry       : on (counters)" in text
+        off = build_machine(shared_mesh(4))
+        assert "telemetry       : off" in off.describe()
+
+    def test_telemetry_absent_by_default(self):
+        machine = build_machine(shared_mesh(4))
+        assert machine.telemetry is None
+        assert machine.fabric.telemetry is None
+
+
+class TestBackendMergeAgreement:
+    def test_sharded_merge_matches_serial_actions(self):
+        """A sharded run's merged action counters equal the serial run's.
+
+        Only ``engine.actions.*`` is backend-independent: fusion lengths,
+        commit counts and rescue rounds legitimately differ because the
+        sharded backend fast-forwards idle regions.
+        """
+        sync, drift, memory = golden.SHARDED_GOLDEN_RUNS[0]
+        base = shared_mesh(16)
+        cfg = dataclasses.replace(base, sync=sync, drift_bound=drift,
+                                  shards=4, telemetry="counters")
+        specs = golden._sharded_specs(memory)
+
+        serial = build_machine(cfg)
+        serial.run_roots([
+            (get_workload(s.benchmark, scale=s.scale, seed=s.seed,
+                          memory=s.memory).root, (), s.root_core)
+            for s in specs
+        ])
+        serial_snap = serial.telemetry.snapshot()
+
+        sharded = build_backend(
+            dataclasses.replace(cfg, backend="sharded"))
+        sharded.run_workloads(specs)
+        merged = sharded.telemetry_snapshot()
+
+        def actions(snap):
+            return {k: v for k, v in snap["counters"].items()
+                    if k.startswith("engine.actions.")}
+
+        assert actions(merged) == actions(serial_snap)
+        # Protocol counters got folded in alongside the worker metrics.
+        assert merged["counters"]["parallel.rounds"] == \
+            sharded.protocol["rounds"]
+
+
+# -- golden bit-identity with telemetry on --------------------------------
+
+
+class TestZeroPerturbation:
+    @pytest.mark.parametrize(
+        "run", golden.GOLDEN_RUNS[:3],
+        ids=lambda r: "-".join(map(str, r[:4])))
+    def test_serial_golden_identical(self, run, monkeypatch):
+        """Golden observables are bit-identical with telemetry enabled."""
+        benchmark, memory, sync, cores, scale, seed = run
+        original = golden.build_machine
+
+        def build_with_telemetry(cfg):
+            return original(dataclasses.replace(cfg, telemetry="all"))
+
+        monkeypatch.setattr(golden, "build_machine", build_with_telemetry)
+        got = golden.run_golden(*run)
+        assert got == golden.EXPECTED["-".join(map(str, run))]
+
+    @pytest.mark.parametrize(
+        "run", golden.SHARDED_GOLDEN_RUNS, ids=lambda r: f"{r[0]}-{r[2]}")
+    def test_sharded_golden_identical(self, run):
+        """Both backends still agree bit-for-bit with telemetry on."""
+        sync, drift, memory = run
+        base = (shared_mesh(16) if memory == "shared"
+                else golden.dist_mesh(16))
+        cfg = dataclasses.replace(base, sync=sync, drift_bound=drift,
+                                  shards=4, telemetry="counters")
+        specs = golden._sharded_specs(memory)
+
+        serial = build_machine(cfg)
+        serial_results = serial.run_roots([
+            (get_workload(s.benchmark, scale=s.scale, seed=s.seed,
+                          memory=s.memory).root, (), s.root_core)
+            for s in specs
+        ])
+        sharded = build_backend(
+            dataclasses.replace(cfg, backend="sharded"))
+        sharded_results = sharded.run_workloads(specs)
+
+        key = "-".join(map(str, run))
+        assert golden._observables(serial.stats) == \
+            golden.EXPECTED_SHARDED[key]
+        assert golden._observables(sharded.stats) == \
+            golden.EXPECTED_SHARDED[key]
+        assert sharded_results == serial_results
+
+
+# -- Chrome-trace export --------------------------------------------------
+
+
+class TestChromeTrace:
+    def test_serial_timeline_schema_valid(self):
+        cfg = _telemetry_cfg(shared_mesh(16))
+        workload = get_workload("quicksort", scale="tiny", seed=0,
+                                memory="shared")
+        machine = build_machine(cfg)
+        tracer = Tracer(machine)
+        machine.run(workload.root)
+        doc = tracer.to_chrome()
+        validate_chrome_trace(doc)
+        # Survives a JSON round-trip unchanged.
+        assert json.loads(json.dumps(doc)) == doc
+        spans = [e for e in doc["traceEvents"]
+                 if e["ph"] == "X" and e["pid"] == 1]
+        assert spans and all(e["dur"] >= 0 for e in spans)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+
+    def test_sharded_timeline_has_worker_tracks(self):
+        cfg = dataclasses.replace(
+            shared_mesh(16), sync="spatial", drift_bound=1e9, shards=4,
+            backend="sharded", telemetry="all", collect_trace=True)
+        backend = build_backend(cfg)
+        backend.run_workloads(golden._sharded_specs("shared"))
+        doc = build_chrome_trace(trace=backend.trace,
+                                 host_rounds=backend.worker_rounds,
+                                 coord_events=backend.events)
+        validate_chrome_trace(doc)
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert 1 in pids  # virtual-time core tracks
+        assert any(p >= 10 for p in pids)  # wall-clock worker tracks
+
+    def test_validate_rejects_bad_documents(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"no": "traceEvents"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "Z", "pid": 1, "tid": 0, "name": "x", "ts": 0}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "X", "pid": 1, "tid": 0, "name": "x", "ts": 0,
+                 "dur": -1}]})
+
+
+# -- profiler -------------------------------------------------------------
+
+
+class TestProfiler:
+    def test_samples_attributed_to_phases(self):
+        tel = Telemetry("all", 4)
+        prof = SamplingProfiler(tel, interval_s=0.001)
+        with prof:
+            tel.phase = "execute"
+            time.sleep(0.05)
+        assert tel.profile is not None
+        assert tel.profile["total_samples"] > 0
+        assert "execute" in tel.profile["samples"]
+
+    def test_overhead_under_five_percent(self):
+        """Best-of-N wall clock with the profiler on stays within 5 %."""
+
+        def workload():
+            machine, _ = _run_serial(benchmark="quicksort", scale="small",
+                                     spec="counters,profile")
+            return machine
+
+        def best(f, n=3):
+            times = []
+            for _ in range(n):
+                t0 = time.perf_counter()
+                f()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        base = best(workload)
+
+        def profiled():
+            cfg = _telemetry_cfg(shared_mesh(16), "counters,profile")
+            workload_obj = get_workload("quicksort", scale="small", seed=0,
+                                        memory="shared")
+            machine = build_machine(cfg)
+            with SamplingProfiler(machine.telemetry):
+                machine.run(workload_obj.root)
+
+        prof = best(profiled)
+        # Generous ceiling: the pin is "far below 5 %", but timer noise
+        # on a loaded CI box needs headroom below the hard bound.
+        assert prof <= base * 1.05 + 0.01, (
+            f"profiler overhead {prof / base - 1:.1%} exceeds 5%")
+
+
+# -- sinks + CLI ----------------------------------------------------------
+
+
+class TestSinksAndCli:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        machine, _ = _run_serial()
+        snap = collect_snapshot(machine)
+        out = str(tmp_path / "obs")
+        written = write_outputs(out, snap, None)
+        assert set(written) == {"metrics"}
+        assert load_metrics(out) == json.loads(json.dumps(snap))
+
+    def test_summarize_renders_counters_and_histograms(self):
+        machine, _ = _run_serial()
+        text = summarize_metrics(collect_snapshot(machine), top=5)
+        assert "Top counters" in text
+        assert "engine.fusion_len" in text
+
+    def test_render_histogram_shape(self):
+        text = render_histogram((1, 10), [2, 0, 5], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 4  # title + 3 buckets
+        assert lines[-1].endswith("5")
+        with pytest.raises(ValueError):
+            render_histogram((1, 10), [1, 2])
+
+    def test_cli_run_telemetry_out_and_summarize(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "obs")
+        rc = main(["run", "quicksort", "--cores", "16", "--scale", "tiny",
+                   "--telemetry", "--telemetry-out", out])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "telemetry        :" in captured
+        assert os.path.exists(os.path.join(out, "metrics.json"))
+        assert os.path.exists(os.path.join(out, "timeline.json"))
+        validate_chrome_trace(
+            json.load(open(os.path.join(out, "timeline.json"))))
+
+        rc = main(["obs", "summarize", out, "--top", "5"])
+        assert rc == 0
+        assert "Top counters" in capsys.readouterr().out
+
+    def test_cli_rejects_bad_spec(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "quicksort", "--telemetry", "bogus"])
+
+    def test_obs_summarize_missing_path(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["obs", "summarize", str(tmp_path / "nope")]) == 2
