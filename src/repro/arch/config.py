@@ -82,6 +82,14 @@ class ArchConfig:
     queue_capacity: int = 4
     slice_actions: int = 64
     parallelism_sample_interval: int = None  # None = no sampling
+    #: Engine hot-loop implementation: "python" (reference scalar loops),
+    #: "vectorized" (struct-of-arrays fast paths + numpy wave priming) or
+    #: "compiled" (native relax kernel, built on first use; degrades to
+    #: vectorized when no C toolchain is available).  "auto" resolves to
+    #: the REPRO_ENGINE_KERNEL environment variable or "vectorized".
+    #: All kernels are bit-identical; ``sanitize`` forces "python"
+    #: (the checker cross-checks the reference code paths).
+    engine_kernel: str = "auto"       # auto | python | vectorized | compiled
 
     # Timing annotations.
     branch_accuracy: float = 0.9
@@ -177,6 +185,10 @@ class ArchConfig:
         if self.worker_start_method not in ("auto", "fork", "spawn"):
             raise SimConfigError(
                 f"unknown worker_start_method {self.worker_start_method!r}")
+        if self.engine_kernel not in ("auto", "python", "vectorized",
+                                      "compiled"):
+            raise SimConfigError(
+                f"unknown engine_kernel {self.engine_kernel!r}")
 
     def resolved_speed_factors(self) -> list:
         """Per-core speed factors (cost multipliers; >1 = slower)."""

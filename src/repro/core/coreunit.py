@@ -24,35 +24,80 @@ from heapq import heappop, heappush
 from typing import Deque, List, Optional, Tuple
 
 from .messages import Message
+from .soa import CoreStateArrays
 from .task import Task
 from ..timing.annotator import BlockAnnotator
 
 _INF = float("inf")
 
 
+def _plane_scalar(column: str, doc: str) -> property:
+    """A CoreUnit attribute backed by a :class:`CoreStateArrays` column.
+
+    The engine's hot loops index the columns directly (cached array
+    aliases); these properties are the *thin-view* access path for cold
+    code and existing call sites — both alias the same memory, so they
+    can never disagree.
+    """
+
+    def fget(self):
+        return getattr(self._soa, column)[self.cid]
+
+    def fset(self, value):
+        getattr(self._soa, column)[self.cid] = value
+
+    return property(fget, fset, doc=doc)
+
+
 class CoreUnit:
-    """Run-time state of one simulated core."""
+    """Run-time state of one simulated core.
+
+    The hot per-core scalars (service clock, busy cycles, scheduler
+    flags, last processed arrival) live in the machine-wide
+    :class:`~repro.core.soa.CoreStateArrays` plane; this object is a
+    thin view over its ``cid`` slot plus the genuinely per-core
+    containers (task queue, inbox, mailbox) the cold paths use.
+    """
 
     __slots__ = (
-        "cid", "speed_factor", "annotator",
+        "cid", "speed_factor", "annotator", "_soa",
         "queue", "inbox", "current", "reserved_slots",
         "locks_held", "user_mailbox", "recv_waiters",
-        "last_processed_arrival", "busy_cycles", "service_clock",
-        "in_ready", "stalled", "lax_ref", "lax_next_check",
+        "lax_ref", "lax_next_check",
         "track_arrivals", "_inbox_heap",
     )
+
+    last_processed_arrival = _plane_scalar(
+        "last_arrival", "Arrival timestamp of the last serviced message.")
+    busy_cycles = _plane_scalar(
+        "busy_cycles", "Accumulated busy cycles on this core.")
+    #: Virtual timeline of the core's run-time/NI message servicing.
+    #: Requests are serviced at max(arrival, service_clock): the
+    #: run-time handles incoming messages independently of the task
+    #: clock, and replies are dated with the request time plus a local
+    #: processing time (paper, Section II-A).
+    service_clock = _plane_scalar(
+        "service_clock", "Run-time/NI message service clock.")
+    in_ready = _plane_scalar(
+        "in_ready", "1 while queued in the engine's ready ring.")
+    stalled = _plane_scalar(
+        "stalled", "1 while drift-stalled.")
 
     def __init__(
         self,
         cid: int,
         annotator: BlockAnnotator,
         speed_factor: float = 1.0,
+        soa: Optional[CoreStateArrays] = None,
     ) -> None:
         if speed_factor <= 0:
             raise ValueError("speed factor must be positive")
         self.cid = cid
         self.speed_factor = speed_factor
         self.annotator = annotator
+        # Standalone construction (unit tests) gets a private plane.
+        self._soa = soa if soa is not None \
+            else CoreStateArrays(cid + 1, [()] * (cid + 1))
         self.queue: Deque[Task] = deque()
         self.inbox: Deque[Message] = deque()
         self.current: Optional[Task] = None
@@ -60,16 +105,6 @@ class CoreUnit:
         self.locks_held = 0
         self.user_mailbox: Deque[Message] = deque()
         self.recv_waiters: List[Tuple[Task, object]] = []
-        self.last_processed_arrival = 0.0
-        self.busy_cycles = 0.0
-        #: Virtual timeline of the core's run-time/NI message servicing.
-        #: Requests are serviced at max(arrival, service_clock): the
-        #: run-time handles incoming messages independently of the task
-        #: clock, and replies are dated with the request time plus a local
-        #: processing time (paper, Section II-A).
-        self.service_clock = 0.0
-        self.in_ready = False
-        self.stalled = False
         # LaxP2P bookkeeping (used only under that policy).
         self.lax_ref: Optional[int] = None
         self.lax_next_check = 0.0
@@ -92,12 +127,14 @@ class CoreUnit:
                 heap.clear()
             heappush(heap, (msg.arrival, msg.seq, msg))
         inbox.append(msg)
+        self._soa.inbox_len[self.cid] += 1
 
     def inbox_pop_fifo(self) -> Message:
         """Next message in host delivery order."""
         inbox = self.inbox
         msg = inbox.popleft()  # the front is never a tombstone
         msg.consumed = True
+        self._soa.inbox_len[self.cid] -= 1
         while inbox and inbox[0].consumed:
             inbox.popleft()
         return msg
@@ -110,6 +147,7 @@ class CoreUnit:
         two implementations stays testable.
         """
         inbox = self.inbox
+        self._soa.inbox_len[self.cid] -= 1
         if self.track_arrivals:
             heap = self._inbox_heap
             while True:

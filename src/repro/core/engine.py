@@ -22,6 +22,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .actions import (
     Acquire,
     CellAccess,
@@ -38,7 +40,9 @@ from .actions import (
 from .coreunit import CoreUnit
 from .errors import SimConfigError, SimDeadlock, SimError, TaskError
 from .fabric import VirtualTimeFabric, exact_shadow_fixpoint
+from .kernels import resolve_kernel
 from .messages import DEFAULT_SIZES, Message, MsgKind
+from .soa import CoreStateArrays
 from .stats import SimStats, WallTimer
 from .sync import SyncPolicy
 from .task import Task, TaskContext, TaskState
@@ -156,6 +160,7 @@ class Machine:
         model_contention: bool = True,
         seed: int = 0,
         inbox_heap: bool = True,
+        engine_kernel: str = "python",
     ) -> None:
         self.topo = topo
         self.n_cores = topo.n_cores
@@ -163,6 +168,11 @@ class Machine:
         self.policy = policy
         self.seed = seed
         self.stats = SimStats(n_cores=self.n_cores)
+        #: Requested / effective engine kernel (see repro.core.kernels).
+        #: ``compiled`` resolves to ``vectorized`` with a note when the
+        #: host has no C toolchain — selection never fails a run.
+        self.engine_kernel, self.engine_kernel_note = \
+            resolve_kernel(engine_kernel)
 
         self.noc = Noc(
             topo,
@@ -170,13 +180,25 @@ class Machine:
             chunk_bytes=chunk_bytes,
             model_contention=model_contention,
         )
+        #: Struct-of-arrays plane shared by the fabric, the cores and
+        #: the dispatcher (single source of truth for hot per-core
+        #: state; see repro.core.soa).
+        self.soa = CoreStateArrays(
+            self.n_cores, [topo.neighbors(c) for c in range(self.n_cores)])
         self.fabric = VirtualTimeFabric(
             topo,
             drift_bound=drift_bound,
             shadow_enabled=shadow_enabled,
             shadow_mode=shadow_mode,
             on_publish_increase=self._on_publish_increase,
+            soa=self.soa,
         )
+        if self.engine_kernel != "python":
+            self.fabric.set_floor_cache(True)
+        if self.engine_kernel == "compiled":
+            if not self.fabric.enable_compiled_relax():  # pragma: no cover
+                self.engine_kernel = "vectorized"
+                self.engine_kernel_note = "compiled relax unavailable"
 
         table = cost_table or default_cost_table()
         if speed_factors is None:
@@ -195,7 +217,8 @@ class Machine:
                 ),
                 sample_branches=sample_branches,
             )
-            self.cores.append(CoreUnit(cid, annotator, speed_factor=factor))
+            self.cores.append(
+                CoreUnit(cid, annotator, speed_factor=factor, soa=self.soa))
 
         self.memory = None  # attached by the builder
         self.runtime = None  # attached by the builder
@@ -271,6 +294,24 @@ class Machine:
             and bool(getattr(policy, "fusible_compute", True))
         )
         self._on_core_idle = None  # bound in attach_runtime
+        # Hot-column aliases into the shared SoA plane: the scheduler
+        # and message-servicing inner loops index these directly; the
+        # CoreUnit properties are equivalent views over the same memory.
+        soa = self.soa
+        self._stalled_col = soa.stalled
+        self._in_ready_col = soa.in_ready
+        self._svc_clock_col = soa.service_clock
+        self._busy_col = soa.busy_cycles
+        self._last_arrival_col = soa.last_arrival
+        # Wave-batched floor priming (vectorized/compiled kernels under
+        # a drift-checking policy on a non-degenerate topology): one
+        # numpy gather per drain computes every core's exact drift floor
+        # into the fabric's cached lower bounds.
+        self._wave_floors = (
+            self.engine_kernel != "python"
+            and bool(getattr(policy, "checks_drift", False))
+            and soa.min_degree > 0
+        )
         # Per-core scaled engine overheads (speed factors and params are
         # fixed for a machine's lifetime; same product, computed once).
         params = self.params
@@ -618,31 +659,36 @@ class Machine:
 
     # -- scheduling ------------------------------------------------------
     def _make_ready(self, core: CoreUnit) -> None:
-        if core.stalled:
-            core.stalled = False
-            self._stalled.discard(core.cid)
-        if not core.in_ready:
-            core.in_ready = True
+        cid = core.cid
+        stalled_col = self._stalled_col
+        if stalled_col[cid]:
+            stalled_col[cid] = 0
+            self._stalled.discard(cid)
+        in_ready_col = self._in_ready_col
+        if not in_ready_col[cid]:
+            in_ready_col[cid] = 1
             self._ready.append(core)
 
     def _mark_stalled(self, core: CoreUnit) -> None:
-        if not core.stalled:
-            core.stalled = True
-            self._stalled.add(core.cid)
+        cid = core.cid
+        stalled_col = self._stalled_col
+        if not stalled_col[cid]:
+            stalled_col[cid] = 1
+            self._stalled.add(cid)
             self.stats.drift_stalls += 1
             tel = self.telemetry
             if tel is not None:
-                tel.note_stall(core.cid, self.fabric)
+                tel.note_stall(cid, self.fabric)
 
     def _on_publish_increase(self, cid: int) -> None:
         """Fabric hook: a core's published time rose; wake stalled neighbours."""
         if not self._stalled:
             return
         cores = self.cores
+        stalled_col = self._stalled_col
         for j in self._neighbor_cache[cid]:
-            core = cores[j]
-            if core.stalled:
-                self._make_ready(core)
+            if stalled_col[j]:
+                self._make_ready(cores[j])
 
     def _push_all_stalled(self) -> bool:
         woke = False
@@ -688,6 +734,24 @@ class Machine:
         self.stats.lock_waiver_runs = waivers
         self.stats.parallelism_samples.append(count)
 
+    def _prime_floor_cache(self) -> None:
+        """Wave-batched admission priming: compute every core's *exact*
+        current drift floor (neighbour published minimum, min'd with its
+        spawn-birth floor) in one vectorized gather and store it in the
+        fabric's cached lower bounds.
+
+        The subsequent per-core drift checks then pass or fail on a
+        single compare; only cores whose floor has since moved re-derive
+        it scalar-wise.  Writing the exact floor is sound for the same
+        reason the incremental cache is: floors only fall through events
+        that also lower the cached bound (see ``VirtualTimeFabric``).
+        """
+        soa = self.soa
+        floors = np.minimum.reduceat(
+            soa.published_np[soa.csr_indices_np], soa.csr_offsets_np[:-1])
+        np.minimum(floors, soa.births_min_np, out=floors)
+        soa.floor_lb_np[:] = floors
+
     def _drain_ready(self) -> bool:
         progressed = False
         ready = self._ready
@@ -695,7 +759,10 @@ class Machine:
         interval = self.params.parallelism_sample_interval
         horizon = self._horizon
         vtimes = self.fabric.vtime
+        in_ready_col = self._in_ready_col
         pops = 0
+        if self._wave_floors and self.fabric._floor_cache_on:
+            self._prime_floor_cache()
         # Decoupled-phase fast-forward (sharded backend only): when the
         # popped core is provably the shard's sole runnable core (ready
         # ring and stalled set both empty, no sampling to perturb), its
@@ -707,7 +774,7 @@ class Machine:
         boostable = self._owned is not None and interval is None
         while ready:
             core = ready.popleft()
-            core.in_ready = False
+            in_ready_col[core.cid] = 0
             if (vtimes[core.cid] >= horizon
                     and self._core_next_time(core) >= horizon):
                 # Sharded backend: the core's next executable unit lies
@@ -903,7 +970,7 @@ class Machine:
         if cycles == 0:
             return
         self.fabric.advance(core.cid, self.fabric.vtime[core.cid] + cycles)
-        core.busy_cycles += cycles
+        self._busy_col[core.cid] += cycles
         hook = self._on_advance_hook
         if hook is not None:
             hook(core)
@@ -991,12 +1058,16 @@ class Machine:
         request's time plus a local processing time (paper, Section II-A).
         A per-core service clock serializes back-to-back handling.
         """
-        if msg.arrival < core.last_processed_arrival - 1e-9:
+        cid = core.cid
+        arrival = msg.arrival
+        last_col = self._last_arrival_col
+        if arrival < last_col[cid] - 1e-9:
             self.stats.out_of_order_msgs += 1
-        core.last_processed_arrival = msg.arrival
-        service = max(msg.arrival, core.service_clock)
-        service += self._msg_cycles[core.cid]
-        core.service_clock = service
+        last_col[cid] = arrival
+        svc_col = self._svc_clock_col
+        service = max(arrival, svc_col[cid])
+        service += self._msg_cycles[cid]
+        svc_col[cid] = service
         self._svc_time = service
         handler = self._handlers.get(msg.kind)
         if handler is None:
@@ -1190,6 +1261,7 @@ class Machine:
             # pure computes deliver nothing).
             fabric = self.fabric
             vtimes = fabric.vtime
+            busy_col = self._busy_col
             cid = core.cid
             may_run = self.policy.may_run
             on_adv = self._on_advance_hook
@@ -1203,7 +1275,7 @@ class Machine:
                     raise SimError("cannot advance by negative cycles")
                 if cost > 0:
                     vtimes[cid] = vtimes[cid] + cost
-                    core.busy_cycles += cost
+                    busy_col[cid] += cost
                     charged = True
                     if on_adv is not None:
                         on_adv(core)
@@ -1351,9 +1423,13 @@ class Machine:
         label = policy.bound_label(self)
         bound = f" ({label})" if label else ""
         tel = self.telemetry
+        kernel = self.engine_kernel
+        if self.engine_kernel_note:
+            kernel += f" ({self.engine_kernel_note})"
         lines = [
             f"Machine: {self.n_cores} cores on {self.topo.name}",
             f"  sync policy     : {self.policy.name}" + bound,
+            f"  engine kernel   : {kernel}",
             f"  telemetry       : "
             f"{tel.describe() if tel is not None else 'off'}",
             f"  memory model    : {type(self.memory).__name__}",

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 import heapq
 import math
+from array import array
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from .soa import CoreStateArrays
 from ..network.topology import Topology
 
 INF = math.inf
@@ -100,6 +102,7 @@ class VirtualTimeFabric:
         shadow_enabled: bool = True,
         shadow_mode: str = "fast",
         on_publish_increase: Optional[Callable[[int], None]] = None,
+        soa: Optional[CoreStateArrays] = None,
     ) -> None:
         if drift_bound <= 0:
             raise ValueError("drift bound T must be positive")
@@ -114,23 +117,35 @@ class VirtualTimeFabric:
         n = topo.n_cores
         self.n_cores = n
         self._neighbors: List[tuple] = [topo.neighbors(c) for c in range(n)]
-        self.vtime: List[float] = [0.0] * n
-        self.active: List[bool] = [False] * n
-        self.published: List[float] = [INF] * n
+        # Struct-of-arrays core-state plane: the engine shares one plane
+        # across fabric, cores and dispatcher; a standalone fabric (unit
+        # tests) owns a private one.  ``vtime``/``active``/``published``
+        # keep their historical names but are now *views into the plane*
+        # (array('d') / array('b') columns) — indexing semantics are
+        # unchanged, identity is shared.
+        if soa is None:
+            soa = CoreStateArrays(n, self._neighbors)
+        self.soa = soa
+        self.vtime = soa.vtime
+        self.active = soa.active
+        self.published = soa.published
         # Birth ledger: per core, timestamp -> outstanding count.
         self._births: List[Dict[float, int]] = [dict() for _ in range(n)]
-        self._births_min: List[float] = [INF] * n
+        self._births_min = soa.births_min
         self._dirty = True  # shadows need a full recompute
         self._exact = shadow_enabled and shadow_mode == "exact"
         self.max_vtime = 0.0
         self.shadow_recomputes = 0
-        # CSR adjacency for the vectorized shadow fixpoint (built lazily
-        # on the first full recompute; tiny or degenerate topologies keep
-        # the heap-based path).
-        self._csr_indices: Optional[np.ndarray] = None
-        self._csr_offsets: Optional[np.ndarray] = None
-        self._min_degree = min(
-            (len(nbrs) for nbrs in self._neighbors), default=0)
+        self._min_degree = soa.min_degree
+        #: Cached lower bound on each core's drift floor (see
+        #: ``SpatialSync.may_run``).  Valid only while ``_floor_cache_on``
+        #: (vectorized/compiled kernels, fast shadow mode): publish
+        #: increases keep a lower bound trivially valid, and every event
+        #: that can *lower* a floor (spawn births, first INF->finite
+        #: publishes, full recomputes) lowers or resets the bound too.
+        self._floor_lb = soa.floor_lb
+        self._floor_cache_on = False
+        self._crelax = None  # compiled relax-wave state (engine kernel)
         # Number of idle neighbours per core (all cores start idle).
         # Relaxation waves from an advance can only act on idle
         # neighbours, so advances gate the wave on this counter — on a
@@ -146,7 +161,7 @@ class VirtualTimeFabric:
         """Core ``cid`` gains a virtual time of its own (idle -> active)."""
         if self.active[cid]:
             raise RuntimeError(f"core {cid} already active")
-        self.active[cid] = True
+        self.active[cid] = 1
         counts = self._idle_nbr_count
         for j in self._neighbors[cid]:
             counts[j] -= 1
@@ -161,6 +176,8 @@ class VirtualTimeFabric:
                 if not math.isinf(old):
                     self._notify(cid)
                     self._relax_up(cid)
+                else:
+                    self._lower_neighbor_floors(cid, start_time)
         else:
             self.published[cid] = start_time
             self._dirty = True
@@ -260,6 +277,8 @@ class VirtualTimeFabric:
                 self._notify(cid)
                 if self.shadow_enabled and self._idle_nbr_count[cid]:
                     self._relax_up(cid)
+            else:
+                self._lower_neighbor_floors(cid, value)
 
     def adopt_shadow(self, cid: int, value: float) -> None:
         """Adopt a coordinator-computed exact shadow for an idle core.
@@ -279,6 +298,8 @@ class VirtualTimeFabric:
             return
         old = self.published[cid]
         if math.isinf(old) or value > old:
+            if math.isinf(old):
+                self._lower_neighbor_floors(cid, value)
             self.published[cid] = value
             self._notify(cid)
             if self.shadow_enabled and self._idle_nbr_count[cid]:
@@ -291,6 +312,9 @@ class VirtualTimeFabric:
         births[timestamp] = births.get(timestamp, 0) + 1
         if timestamp < self._births_min[cid]:
             self._births_min[cid] = timestamp
+        lb = self._floor_lb
+        if timestamp < lb[cid]:
+            lb[cid] = timestamp
 
     def remove_birth(self, cid: int, timestamp: float) -> None:
         """Discard a birth date once the task reached its destination."""
@@ -388,6 +412,98 @@ class VirtualTimeFabric:
         if self.shadow_enabled:
             self._full_recompute()
 
+    # -- engine-kernel fast paths ----------------------------------------
+    def set_floor_cache(self, on: bool) -> None:
+        """Arm the cached-floor drift check (vectorized/compiled kernels).
+
+        The cache is a per-core *lower bound* on the drift floor; it is
+        sound only under fast (monotone) shadow mode, where published
+        times can fall solely through the events hooked above — exact
+        mode recomputes may lower arbitrary values lazily, so the cache
+        stays off there and ``SpatialSync.may_run`` uses the reference
+        computation.
+        """
+        self._floor_cache_on = bool(on) and not self._exact
+
+    def _lower_neighbor_floors(self, cid: int, value: float) -> None:
+        """A first (INF -> finite) publish can *lower* the neighbours'
+        drift floors; keep their cached lower bounds below it."""
+        lb = self._floor_lb
+        for j in self._neighbors[cid]:
+            if value < lb[j]:
+                lb[j] = value
+
+    def enable_compiled_relax(self) -> bool:
+        """Swap ``_relax_up`` for the compiled wave (engine kernel
+        ``compiled``); returns False when the library is unavailable.
+        The instance attribute shadows the method, so every internal
+        call site (advance/commit/set_active/_relax_self/...) takes the
+        compiled path with no further dispatch cost."""
+        from .kernels import compiled_library
+
+        lib, _ = compiled_library()
+        if lib is None or self.n_cores == 0:
+            return False
+        soa = self.soa
+        cap = max(64, 4 * self.n_cores, 2 * soa.max_degree)
+        self._crelax = {
+            "fn": lib.relax_wave,
+            "pub": soa.addr("published"),
+            "act": soa.addr("active"),
+            "idx": soa.csr_indices.buffer_info()[0],
+            "off": soa.csr_offsets.buffer_info()[0],
+            "stack": np.zeros(cap, dtype=np.int64),
+            "wakes": np.zeros(cap, dtype=np.int64),
+            "io": np.zeros(2, dtype=np.int64),
+            "cap": cap,
+            "max_deg": soa.max_degree,
+        }
+        self._relax_up = self._relax_up_compiled
+        return True
+
+    def _relax_up_compiled(self, cid: int) -> None:
+        """Compiled increase-only relax wave (see ``kernels/relax.c``).
+
+        Bit-identical to :meth:`_relax_up`: the C code replicates the
+        exact traversal and float arithmetic, records every core that
+        rose in rise order, and this wrapper replays the
+        ``on_publish_increase`` notifications in that order (the wave
+        never reads the state those notifications mutate, so replaying
+        after each chunk is unobservable — see relax.c).
+        """
+        tel = self.telemetry
+        if tel is not None:
+            tel.relax_waves[cid] += 1
+        ck = self._crelax
+        fn = ck["fn"]
+        stack = ck["stack"]
+        io = ck["io"]
+        stack[0] = cid
+        io[0] = 1
+        notify = self.on_publish_increase
+        T = self.T
+        ceiling = self.max_vtime + T
+        while True:
+            fn(ck["pub"], ck["act"], ck["idx"], ck["off"], T, ceiling,
+               stack.ctypes.data, ck["wakes"].ctypes.data,
+               ck["cap"], ck["cap"], ck["max_deg"], io.ctypes.data)
+            wake_count = int(io[1])
+            if notify is not None and wake_count:
+                wakes = ck["wakes"]
+                for i in range(wake_count):
+                    notify(int(wakes[i]))
+            remaining = int(io[0])
+            if remaining == 0:
+                break
+            if remaining + ck["max_deg"] > ck["cap"]:
+                # Pathological cascade: double the buffers and resume.
+                new_cap = ck["cap"] * 2
+                grown = np.zeros(new_cap, dtype=np.int64)
+                grown[:remaining] = stack[:remaining]
+                ck["stack"] = stack = grown
+                ck["wakes"] = np.zeros(new_cap, dtype=np.int64)
+                ck["cap"] = new_cap
+
     # -- shadow machinery -------------------------------------------------
     def _notify(self, cid: int) -> None:
         if self.on_publish_increase is not None:
@@ -462,22 +578,19 @@ class VirtualTimeFabric:
             tel.phase = "shadow_fixpoint"
             tel.counters["fabric.shadow_recomputes"] += 1
         self._dirty = False
+        # A rescue recompute may *lower* fast-mode shadows back to the
+        # exact fixpoint; cached floor lower bounds are no longer valid.
+        if self._floor_cache_on:
+            self.soa.floor_lb_np.fill(-INF)
         if self.n_cores < 64 or self._min_degree == 0:
             self._full_recompute_heap()
             return
-        if self._csr_indices is None:
-            indices: List[int] = []
-            offsets: List[int] = [0]
-            for nbrs in self._neighbors:
-                indices.extend(nbrs)
-                offsets.append(len(indices))
-            self._csr_indices = np.asarray(indices, dtype=np.intp)
-            self._csr_offsets = np.asarray(offsets[:-1], dtype=np.intp)
-        active = np.asarray(self.active, dtype=bool)
-        vtime = np.asarray(self.vtime, dtype=np.float64)
+        soa = self.soa
+        active = soa.active_np.astype(bool)
+        vtime = soa.vtime_np
         pub = np.where(active, vtime, INF)
-        indices = self._csr_indices
-        offsets = self._csr_offsets
+        indices = soa.csr_indices_np
+        offsets = soa.csr_offsets_np[:-1]
         T = self.T
         # Fixpoint in at most eccentricity+1 sweeps; each sweep gathers
         # every core's neighbour minimum in one reduceat.
@@ -488,23 +601,29 @@ class VirtualTimeFabric:
                 break
             pub = new
         result = pub.tolist()
-        old = self.published
-        self.published = result
-        if self.on_publish_increase is not None:
-            for c in range(self.n_cores):
-                if result[c] != old[c]:
-                    self._notify(c)
+        published = self.published
+        if self.on_publish_increase is None:
+            soa.published_np[:] = pub
+            return
+        changed = [c for c in range(self.n_cores)
+                   if result[c] != published[c]]
+        soa.published_np[:] = pub
+        for c in changed:
+            self._notify(c)
 
     def _full_recompute_heap(self) -> None:
         """Heap-based exact fixpoint (see :func:`exact_shadow_fixpoint`)."""
         pub = exact_shadow_fixpoint(
             self._neighbors, self.active, self.vtime, self.T)
-        old = self.published
-        self.published = pub
-        if self.on_publish_increase is not None:
-            for c in range(self.n_cores):
-                if pub[c] != old[c]:
-                    self._notify(c)
+        published = self.published
+        if self.on_publish_increase is None:
+            published[:] = array("d", pub)
+            return
+        changed = [c for c in range(self.n_cores)
+                   if pub[c] != published[c]]
+        published[:] = array("d", pub)
+        for c in changed:
+            self._notify(c)
 
     # -- introspection ---------------------------------------------------
     def snapshot(self) -> Dict[str, object]:

@@ -1,0 +1,122 @@
+"""Engine kernel selection and the optional compiled relax kernel.
+
+Three kernels drive the engine's hot loops (``ArchConfig.engine_kernel``):
+
+``python``
+    The reference implementation: pure-Python scalar loops, exactly as
+    the goldens were captured.  The sanitizer always runs against this
+    kernel (its monkeypatched cross-checks assume the reference paths).
+``vectorized``
+    Same Python relax waves, plus the struct-of-arrays fast paths: the
+    spatial drift check runs against a cached floor lower bound, the
+    wave-batched dispatcher bulk-primes those floors with one numpy
+    gather per drain, and the sharded workers publish their board
+    planes with vectorized scatters.  Bit-identical by construction
+    (every fast path either produces the same floats or falls back to
+    the reference computation).
+``compiled``
+    The vectorized kernel with the relax wave itself compiled to native
+    code (``relax.c``), built on first use with the host C compiler and
+    loaded through ctypes.  Falls back to ``vectorized`` with a recorded
+    notice when no toolchain is available — selecting ``compiled`` never
+    fails a run.
+
+The build is cached in a per-user temp directory keyed by the source
+hash, so recompiles only happen when ``relax.c`` changes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional, Tuple
+
+KERNELS = ("python", "vectorized", "compiled")
+
+#: Lazily populated: (CDLL or None, human-readable note).
+_compiled: Optional[Tuple[Optional[ctypes.CDLL], str]] = None
+
+
+def _source_path() -> str:
+    return os.path.join(os.path.dirname(__file__), "relax.c")
+
+
+def _build_library() -> Tuple[Optional[ctypes.CDLL], str]:
+    src = _source_path()
+    if not os.path.exists(src):  # pragma: no cover - packaging error
+        return None, "relax.c not found next to the kernels package"
+    cc = (os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+          or shutil.which("clang"))
+    if not cc:
+        return None, "no C compiler (cc/gcc/clang) on PATH"
+    with open(src, "rb") as fh:
+        source = fh.read()
+    digest = hashlib.sha256(source).hexdigest()[:16]
+    cache = os.path.join(
+        tempfile.gettempdir(), f"repro-kernels-{os.getuid()}")
+    lib_path = os.path.join(cache, f"relax-{digest}.so")
+    if not os.path.exists(lib_path):
+        try:
+            os.makedirs(cache, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=cache, suffix=".so")
+            os.close(fd)
+            # No -ffast-math: the wave must perform the exact IEEE-754
+            # operations CPython does (see relax.c).
+            cmd = [cc, "-O2", "-fPIC", "-shared", "-o", tmp, src]
+            proc = subprocess.run(cmd, capture_output=True, timeout=120)
+            if proc.returncode != 0:
+                os.unlink(tmp)
+                err = proc.stderr.decode(errors="replace").strip()
+                return None, f"compile failed: {err.splitlines()[-1] if err else cmd}"
+            os.replace(tmp, lib_path)  # atomic: racing builders agree
+        except (OSError, subprocess.SubprocessError) as exc:
+            return None, f"compile failed: {exc}"
+    try:
+        lib = ctypes.CDLL(lib_path)
+        fn = lib.relax_wave
+    except (OSError, AttributeError) as exc:  # pragma: no cover
+        return None, f"load failed: {exc}"
+    c_ll = ctypes.c_longlong
+    fn.restype = None
+    fn.argtypes = [
+        ctypes.c_void_p, ctypes.c_void_p,      # pub, active
+        ctypes.c_void_p, ctypes.c_void_p,      # csr indices, offsets
+        ctypes.c_double, ctypes.c_double,      # T, ceiling
+        ctypes.c_void_p, ctypes.c_void_p,      # stack, wakes
+        c_ll, c_ll, c_ll,                      # stack_cap, wake_cap, max_deg
+        ctypes.c_void_p,                       # io[2]
+    ]
+    return lib, f"compiled with {os.path.basename(cc)}"
+
+
+def compiled_library() -> Tuple[Optional[ctypes.CDLL], str]:
+    """The compiled relax library, building it on first call.
+
+    Returns ``(lib, note)``; ``lib`` is None when unavailable and the
+    note says why (surfaced by ``describe()`` and the CI kernel leg).
+    """
+    global _compiled
+    if _compiled is None:
+        _compiled = _build_library()
+    return _compiled
+
+
+def resolve_kernel(name: str) -> Tuple[str, str]:
+    """Resolve a requested kernel to the one that will actually run.
+
+    ``compiled`` degrades to ``vectorized`` (with a note) when the
+    library cannot be built; other names pass through unchanged.
+    """
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown engine kernel {name!r}; choose from {KERNELS}")
+    if name == "compiled":
+        lib, note = compiled_library()
+        if lib is None:
+            return "vectorized", f"compiled kernel unavailable ({note})"
+        return "compiled", note
+    return name, ""

@@ -1,0 +1,71 @@
+/* Compiled inner loop of the virtual-time fabric's relax wave.
+ *
+ * Exact transliteration of VirtualTimeFabric._relax_up (fabric.py): the
+ * same explicit LIFO stack, the same neighbour iteration order (CSR rows
+ * store each core's neighbours in Python tuple order), the same
+ * left-to-right float min, the same `pub[j] >= limit` prune and the same
+ * ceiling clamp — compiled without -ffast-math so every add and compare
+ * is the identical IEEE-754 double operation CPython performs.  The wave
+ * is therefore bit-identical to the Python implementation, including the
+ * ORDER in which cores rise: that order is observable (each rise wakes
+ * stalled neighbours, which append to the engine's ready ring), so the
+ * risen cores are recorded in `wakes` and the Python wrapper replays the
+ * on_publish_increase notifications in exactly that order.  Notification
+ * side effects (ready-ring appends, stall-flag clears) never feed back
+ * into the wave itself — the wave reads only pub/active/adjacency — so
+ * deferring them to the end of a chunk is unobservable.
+ *
+ * Chunked protocol: the caller owns the stack and wake buffers and loops
+ * until the stack drains.  The wave pauses (preserving the stack) when a
+ * buffer could overflow on the next node; the wrapper replays that
+ * chunk's wakes, grows buffers if needed, and resumes.
+ *
+ * io[0] = stack length (in/out), io[1] = wakes recorded this chunk (out).
+ */
+
+#include <math.h>
+
+void relax_wave(double *pub, const signed char *active,
+                const long long *indices, const long long *offsets,
+                double T, double ceiling,
+                long long *stack, long long *wakes,
+                long long stack_cap, long long wake_cap,
+                long long max_deg, long long *io)
+{
+    long long stack_len = io[0];
+    long long wake_cnt = 0;
+    while (stack_len > 0) {
+        if (wake_cnt + max_deg > wake_cap || stack_len + max_deg > stack_cap)
+            break; /* pause: caller replays wakes and resumes */
+        long long x = stack[--stack_len];
+        double limit = pub[x] + T;
+        long long end = offsets[x + 1];
+        for (long long ii = offsets[x]; ii < end; ii++) {
+            long long j = indices[ii];
+            if (active[j])
+                continue;
+            if (pub[j] >= limit)
+                continue;
+            /* min over j's neighbours, left-to-right like Python's
+             * min(map(getter, neighbors[j])); rows are never empty (j
+             * has at least neighbour x). */
+            long long jend = offsets[j + 1];
+            double m = pub[indices[offsets[j]]];
+            for (long long kk = offsets[j] + 1; kk < jend; kk++) {
+                double v = pub[indices[kk]];
+                if (v < m)
+                    m = v;
+            }
+            double cand = m + T;
+            if (cand > ceiling)
+                cand = ceiling;
+            if (cand > pub[j]) {
+                pub[j] = cand;
+                wakes[wake_cnt++] = j;
+                stack[stack_len++] = j;
+            }
+        }
+    }
+    io[0] = stack_len;
+    io[1] = wake_cnt;
+}

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..arch import build_machine, dist_mesh, numa_mesh, shared_mesh
 from ..core.fabric import VirtualTimeFabric
@@ -188,8 +191,41 @@ def _bench_e2e(benchmark: str, memory: str, n_cores: int = 64,
     return {"wall_s": wall, "events": events}
 
 
+def _cross_pingpong(peer: int, rounds: int = 8):
+    """Spawn-importable factory: root pings ``peer`` across the fence.
+
+    The sharded bench entry pairs this with :func:`_cross_echo` on a
+    remote shard so the run exercises the cross-shard USER-message path
+    (edge pipes + board count matrix) and the entry's ``bytes_shipped``
+    / ``bytes_by_edge`` counters record real traffic.
+    """
+    from types import SimpleNamespace
+
+    def root(ctx):
+        for i in range(rounds):
+            yield ctx.send(peer, payload=i, tag=("bping", i))
+            yield ctx.recv(tag=("bpong", i))
+        return rounds
+
+    return SimpleNamespace(root=root)
+
+
+def _cross_echo(rounds: int = 8):
+    """Spawn-importable factory: answers :func:`_cross_pingpong`."""
+    from types import SimpleNamespace
+
+    def root(ctx):
+        for i in range(rounds):
+            msg = yield ctx.recv(tag=("bping", i))
+            yield ctx.send(msg.src, payload=msg.payload, tag=("bpong", i))
+        return rounds
+
+    return SimpleNamespace(root=root)
+
+
 def _bench_e2e_sharded(n_cores: int = 64, shards: int = 4,
-                       scale: str = "medium", seed: int = 0) -> Dict[str, float]:
+                       scale: str = "medium", seed: int = 0,
+                       chat_rounds: int = 8) -> Dict[str, float]:
     """The sharded backend on a fenced 64-core machine, one root per
     shard region (the backend's intended load shape).
 
@@ -216,6 +252,19 @@ def _bench_e2e_sharded(n_cores: int = 64, shards: int = 4,
         WorkloadSpec("quicksort", scale=scale, seed=seed + i,
                      memory="shared", root_core=i * per_shard)
         for i in range(shards)
+    ]
+    # A ping/echo pair spanning the first and last shard keeps real
+    # USER traffic flowing across the fence, so the bytes_shipped /
+    # bytes_by_edge counters below measure the edge-pipe path instead
+    # of reporting an (accurate but uninformative) zero for a purely
+    # fenced load.
+    specs += [
+        WorkloadSpec("cross_pingpong", root_core=1,
+                     factory="repro.harness.perfbench:_cross_pingpong",
+                     kwargs={"peer": n_cores - 1, "rounds": chat_rounds}),
+        WorkloadSpec("cross_echo", root_core=n_cores - 1,
+                     factory="repro.harness.perfbench:_cross_echo",
+                     kwargs={"rounds": chat_rounds}),
     ]
     backend = build_backend(cfg)
     t0 = time.perf_counter()
@@ -259,7 +308,7 @@ SUITE: Dict[str, tuple] = {
     ),
     "e2e_sharded_quicksort_64x4": (
         _bench_e2e_sharded,
-        {"scale": "small"},
+        {"scale": "small", "chat_rounds": 2},
     ),
 }
 
@@ -321,15 +370,37 @@ def run_suite(
     return results
 
 
+def effective_kernel() -> str:
+    """The engine kernel a default-config run in this process would use.
+
+    Resolves "auto" (environment override or "vectorized") and the
+    compiled->vectorized toolchain fallback, so the recorded value names
+    the kernel that actually executed the suite.
+    """
+    from ..arch.builder import resolve_engine_kernel
+    from ..arch.config import ArchConfig
+    from ..core.kernels import resolve_kernel
+
+    kernel, _note = resolve_kernel(resolve_engine_kernel(ArchConfig()))
+    return kernel
+
+
 def make_record(
     results: Dict[str, Dict[str, float]],
     baseline: Optional[Dict] = None,
+    repeat: int = 3,
 ) -> Dict:
     """Assemble the JSON document written to ``BENCH_engine.json``."""
     record = {
-        "schema": 1,
+        "schema": 2,
         "suite": "repro-perf",
         "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        # Throughput numbers are only comparable within one kernel;
+        # check_regression.py refuses to gate across a mismatch.
+        "engine_kernel": effective_kernel(),
+        "repeat": repeat,
         # Sharded-backend entries only beat their serial counterparts
         # with real parallel hardware; record what this host had.
         "host_cpus": os.cpu_count(),
@@ -373,7 +444,7 @@ def run_and_write(
           + f", best of {repeat}:", file=out)
     results = run_suite(repeat=repeat, quick=quick, only=only, out=out)
     baseline = load_record(baseline_path) if baseline_path else None
-    record = make_record(results, baseline=baseline)
+    record = make_record(results, baseline=baseline, repeat=repeat)
     if output:
         with open(output, "w") as fh:
             json.dump(record, fh, indent=2, sort_keys=True)

@@ -47,6 +47,8 @@ import time
 import traceback
 from typing import Dict, List
 
+import numpy as np
+
 from ..arch.builder import build_machine
 from ..core.errors import SanitizerViolation, ShardBoundaryError
 from ..core.fabric import INF
@@ -130,6 +132,14 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
     # Sub-round batching only pays under spatial sync: the unbounded
     # policy gates nothing, so one run to quiescence is already maximal.
     batch_cap = cfg.round_batch if spatial else 1
+    # Plane publication (step 4) is a pure float64 gather/scatter from
+    # the machine's struct-of-arrays plane into the shared board, so the
+    # vectorized path writes bit-identical values; the scalar loop stays
+    # as the reference-kernel path.
+    soa = machine.soa
+    vector_pub = machine.engine_kernel != "python"
+    owned_idx = np.asarray(owned, dtype=np.intp)
+    boundary_idx = np.asarray(boundary, dtype=np.intp)
     counts = board.counts
     bytes_to: Dict[int, int] = {p: 0 for p in peers}
     busy = 0.0
@@ -198,12 +208,17 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                 # 4. Publish planes, ship batches, report status.
                 vt_plane = board.vtime
                 act_plane = board.active
-                for cid in owned:
-                    vt_plane[cid] = fabric.vtime[cid]
-                    act_plane[cid] = 1 if fabric.active[cid] else 0
                 pub_cur = board.published[cur]
-                for cid in boundary:
-                    pub_cur[cid] = fabric.published[cid]
+                if vector_pub:
+                    vt_plane[owned_idx] = soa.vtime_np[owned_idx]
+                    act_plane[owned_idx] = soa.active_np[owned_idx]
+                    pub_cur[boundary_idx] = soa.published_np[boundary_idx]
+                else:
+                    for cid in owned:
+                        vt_plane[cid] = fabric.vtime[cid]
+                        act_plane[cid] = 1 if fabric.active[cid] else 0
+                    for cid in boundary:
+                        pub_cur[cid] = fabric.published[cid]
                 sent = len(outbox)
                 if sent:
                     by_peer: Dict[int, list] = {p: [] for p in peers}

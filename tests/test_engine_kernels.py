@@ -1,0 +1,222 @@
+"""Engine-kernel plumbing: SoA plane coherence, kernel selection, and
+the cross-shard byte accounting the sharded bench entry reports.
+
+The bit-identity of full runs across kernels is covered by
+``test_determinism.py::test_engine_kernels_bit_identical`` and by the
+golden/digest suites; these tests pin the supporting machinery.
+"""
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.arch import ArchConfig, build_backend, build_machine, shared_mesh
+from repro.arch.builder import resolve_engine_kernel
+from repro.core.errors import SimConfigError
+from repro.core.fabric import VirtualTimeFabric
+from repro.core.kernels import compiled_library, resolve_kernel
+from repro.core.soa import COLUMNS, CoreStateArrays
+from repro.network.topology import square_mesh
+from repro.parallel import WorkloadSpec
+from repro.workloads import get_workload
+
+_has_cc = compiled_library()[0] is not None
+
+
+# -- CoreStateArrays <-> CoreUnit view coherence -------------------------
+
+#: CoreUnit property name -> backing column name.
+VIEW_PROPS = {
+    "last_processed_arrival": "last_arrival",
+    "busy_cycles": "busy_cycles",
+    "service_clock": "service_clock",
+    "in_ready": "in_ready",
+    "stalled": "stalled",
+}
+
+
+def _assert_views_coherent(machine):
+    machine.soa.check_view_coherence()
+    for core in machine.cores:
+        for prop, column in VIEW_PROPS.items():
+            assert getattr(core, prop) == \
+                getattr(machine.soa, column)[core.cid], (core.cid, prop)
+        assert len([m for m in core.inbox if not m.consumed]) == \
+            machine.soa.inbox_len[core.cid]
+
+
+def _random_root(rng, n_cores, depth=0):
+    """A randomized program over the public action vocabulary."""
+
+    def child(ctx):
+        for _ in range(rng.randrange(1, 6)):
+            yield ctx.compute(cycles=rng.uniform(0.5, 40.0))
+        return None
+
+    def root(ctx):
+        for _ in range(rng.randrange(10, 30)):
+            op = rng.randrange(4)
+            if op == 0:
+                yield ctx.compute(cycles=rng.uniform(0.5, 60.0))
+            elif op == 1:
+                yield ctx.now()
+            elif op == 2:
+                yield ctx.send(rng.randrange(n_cores), tag="noise")
+            else:
+                yield ctx.try_spawn(child)
+        return None
+
+    return root
+
+
+@pytest.mark.parametrize("kernel", ["python", "vectorized"])
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_views_coherent_after_random_steps(kernel, seed):
+    """Property: after randomized engine steps, every CoreUnit thin view
+    agrees bit-exactly with its CoreStateArrays column."""
+    rng = random.Random(seed)
+    cfg = dataclasses.replace(shared_mesh(16), engine_kernel=kernel,
+                              seed=seed)
+    machine = build_machine(cfg)
+    machine.run(_random_root(rng, cfg.n_cores))
+    _assert_views_coherent(machine)
+    # The busy/vtime planes must have actually moved (non-vacuous check).
+    assert sum(machine.soa.busy_cycles) > 0
+    assert max(machine.soa.vtime) > 0
+
+
+def test_views_coherent_after_benchmark():
+    machine = build_machine(shared_mesh(16))
+    workload = get_workload("quicksort", scale="tiny", seed=4,
+                            memory="shared")
+    machine.run(workload.root)
+    _assert_views_coherent(machine)
+
+
+def test_property_writes_hit_columns():
+    machine = build_machine(shared_mesh(4))
+    core = machine.cores[2]
+    core.service_clock = 123.5
+    assert machine.soa.service_clock[2] == 123.5
+    machine.soa.busy_cycles[2] = 77.0
+    assert core.busy_cycles == 77.0
+
+
+def test_soa_rejects_mismatched_neighbors():
+    with pytest.raises(ValueError):
+        CoreStateArrays(3, [(1,), (0,)])
+
+
+def test_soa_numpy_views_are_zero_copy():
+    soa = CoreStateArrays(4, [(1,), (0, 2), (1, 3), (2,)])
+    for name, _, _ in COLUMNS:
+        getattr(soa, name)[1] = 1
+        assert getattr(soa, f"{name}_np")[1] == 1
+
+
+# -- kernel selection -----------------------------------------------------
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(ValueError):
+        resolve_kernel("turbo")
+    with pytest.raises(SimConfigError):
+        dataclasses.replace(ArchConfig(), engine_kernel="turbo")
+
+
+def test_auto_resolves_env_then_vectorized(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_KERNEL", raising=False)
+    assert resolve_engine_kernel(ArchConfig()) == "vectorized"
+    monkeypatch.setenv("REPRO_ENGINE_KERNEL", "python")
+    assert resolve_engine_kernel(ArchConfig()) == "python"
+    # Explicit settings are immune to the environment.
+    cfg = dataclasses.replace(ArchConfig(), engine_kernel="vectorized")
+    assert resolve_engine_kernel(cfg) == "vectorized"
+    monkeypatch.setenv("REPRO_ENGINE_KERNEL", "bogus")
+    assert resolve_engine_kernel(ArchConfig()) == "vectorized"
+
+
+def test_sanitize_forces_reference_kernel():
+    cfg = dataclasses.replace(shared_mesh(4), sanitize=True,
+                              engine_kernel="vectorized")
+    machine = build_machine(cfg)
+    assert machine.engine_kernel == "python"
+
+
+def test_describe_reports_kernel():
+    cfg = dataclasses.replace(shared_mesh(4), engine_kernel="vectorized")
+    assert "engine kernel   : vectorized" in build_machine(cfg).describe()
+
+
+@pytest.mark.skipif(not _has_cc, reason="no C toolchain on this host")
+def test_compiled_kernel_engages():
+    cfg = dataclasses.replace(shared_mesh(4), engine_kernel="compiled")
+    machine = build_machine(cfg)
+    assert machine.engine_kernel == "compiled"
+    assert machine.fabric._crelax is not None
+
+
+# -- compiled relax wave vs reference ------------------------------------
+
+def _drive(fabric, rng, n, steps):
+    for c in range(0, n, 2):
+        fabric.set_active(c, 0.0)
+    t = 0.0
+    for _ in range(steps):
+        t += rng.uniform(1.0, 25.0)
+        c = rng.randrange(0, n, 2)
+        fabric.advance(c, t + rng.uniform(0.0, 5.0))
+        if rng.random() < 0.1:
+            idle = rng.randrange(1, n, 2)
+            fabric.set_active(idle, t)
+            fabric.set_idle(idle)
+
+
+@pytest.mark.skipif(not _has_cc, reason="no C toolchain on this host")
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_compiled_relax_bit_identical_to_reference(seed):
+    """The native wave must publish the exact floats the Python wave
+    does, for an identical randomized advance/idle sequence."""
+    n = 64
+    runs = []
+    for compiled in (False, True):
+        topo = square_mesh(n)
+        fabric = VirtualTimeFabric(topo, drift_bound=50.0)
+        if compiled:
+            assert fabric.enable_compiled_relax()
+        _drive(fabric, random.Random(seed), n, steps=400)
+        runs.append([
+            (v, a) for v, a in zip(fabric.published, fabric.active)])
+    assert runs[0] == runs[1]
+    assert any(not math.isinf(v) for v, _ in runs[0])
+
+
+# -- sharded cross-shard byte accounting (bench regression) ---------------
+
+def test_sharded_bytes_shipped_counts_cross_shard_traffic():
+    """Cross-shard USER traffic must surface in protocol byte counters
+    (the sharded bench entry reports these; they read zero for fenced
+    loads, which hid a wiring question — pin the working path)."""
+    cfg = dataclasses.replace(shared_mesh(16), shards=2, backend="sharded")
+    backend = build_backend(cfg)
+    results = backend.run_workloads([
+        WorkloadSpec("", root_core=0, factory="parallel_roots:pingpong",
+                     kwargs={"peer": 12, "rounds": 3}),
+        WorkloadSpec("", root_core=12, factory="parallel_roots:echo",
+                     kwargs={"rounds": 3}),
+    ])
+    assert results == [[1, 11, 21], "echoed"]
+    proto = backend.protocol
+    assert proto["bytes_shipped"] > 0
+    assert set(proto["bytes_by_edge"]) == {"0->1", "1->0"}
+    assert all(v > 0 for v in proto["bytes_by_edge"].values())
+    assert proto["bytes_shipped"] == sum(proto["bytes_by_edge"].values())
+
+
+def test_bench_sharded_entry_reports_traffic():
+    from repro.harness.perfbench import _bench_e2e_sharded
+
+    res = _bench_e2e_sharded(scale="tiny", chat_rounds=2)
+    assert res["bytes_shipped"] > 0
+    assert res["bytes_by_edge"]

@@ -287,7 +287,7 @@ def test_exact_fixpoint_matches_fabric_recompute():
     standalone = exact_shadow_fixpoint(
         [topo.neighbors(c) for c in range(16)],
         fabric.active, fabric.vtime, 7.0)
-    assert standalone == fabric.published
+    assert standalone == list(fabric.published)
 
 
 # -- shared round board / batch codec -------------------------------------
