@@ -176,6 +176,14 @@ def build_backend(cfg: ArchConfig):
     workload *specs* (it rebuilds roots inside each worker), hence the
     distinct entry point rather than ``run(root_fn)``.
 
+    This is the single execution entry shared by ``python -m repro run``
+    and the job queue behind ``python -m repro serve`` — the service
+    adds queuing and caching around it but never its own semantics.
+    Note that ``cfg.backend`` (and the sharding knobs it activates) is
+    *semantic* for result identity: serial and sharded trajectories may
+    legitimately differ for runs with cross-shard traffic, so the
+    service's content hash keeps them as separate cache entries.
+
     Example::
 
         import dataclasses

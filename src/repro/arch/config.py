@@ -88,7 +88,12 @@ class ArchConfig:
     #: vectorized when no C toolchain is available).  "auto" resolves to
     #: the REPRO_ENGINE_KERNEL environment variable or "vectorized".
     #: All kernels are bit-identical; ``sanitize`` forces "python"
-    #: (the checker cross-checks the reference code paths).
+    #: (the checker cross-checks the reference code paths).  Because of
+    #: that bit-identity guarantee — pinned by the golden suite and the
+    #: differential fuzzer — kernel selection is a *non-semantic* field:
+    #: the service result cache (``repro.arch.io.NON_SEMANTIC_FIELDS``)
+    #: deliberately excludes it, so the same spec run under any kernel
+    #: shares one cache entry.
     engine_kernel: str = "auto"       # auto | python | vectorized | compiled
 
     # Timing annotations.

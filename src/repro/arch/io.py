@@ -1,15 +1,23 @@
-"""Configuration file I/O.
+"""Configuration file I/O and canonical config identity.
 
 The paper specifies network topology "in a configuration file as an
 adjacency matrix that gives the connections between the cores".  This
 module round-trips both the full :class:`ArchConfig` (JSON) and raw
 topologies (whitespace-separated adjacency matrices whose nonzero entries
 are per-link latencies).
+
+It also defines the **content identity** of a configuration
+(:func:`config_canonical_dict` / :func:`config_content_hash`): a stable
+sha256 over the *semantic* fields only, used by the service layer
+(``repro.service``) to key its result cache.  Two configs share a hash
+iff the simulator guarantees they produce bit-identical results — see
+:data:`NON_SEMANTIC_FIELDS` for the exclusion list and its rationale.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 from typing import Union
@@ -56,6 +64,71 @@ def save_config(cfg: ArchConfig, path: PathLike) -> None:
 def load_config(path: PathLike) -> ArchConfig:
     """Read a configuration from a JSON file."""
     return config_from_json(pathlib.Path(path).read_text())
+
+
+# -- canonical config identity ------------------------------------------------
+
+#: :class:`ArchConfig` fields excluded from the content hash.  A field
+#: belongs here only when the verification subsystem *proves* it cannot
+#: change simulation results:
+#:
+#: * ``name`` — a human-readable label, never consulted by the engine;
+#: * ``telemetry`` / ``collect_trace`` / ``sanitize`` — observation-only;
+#:   golden numbers and trace digests are pinned bit-identical with them
+#:   on (``tests/test_obs.py``, ``tests/test_verify.py``);
+#: * ``engine_kernel`` — the kernel sweep in ``tests/test_determinism.py``
+#:   pins all kernels bit-identical;
+#: * ``inbox_heap`` — delivery semantics are identical with the heap on
+#:   or off (only the scan strategy changes);
+#: * ``worker_start_method`` — how worker processes boot on the host
+#:   cannot reach the simulated machine.
+#:
+#: Everything else is semantic.  Note that ``backend``, ``shards``,
+#: ``round_batch``, ``adaptive_window`` and ``window_max_factor`` are
+#: deliberately *included*: shard fences change dispatch semantics, and
+#: for runs with cross-shard traffic the sharded trajectory may
+#: legitimately differ from serial (the fuzzer's two-tier conformance
+#: contract, docs/testing.md) — so they must separate cache entries.
+NON_SEMANTIC_FIELDS = frozenset({
+    "name",
+    "telemetry",
+    "collect_trace",
+    "sanitize",
+    "engine_kernel",
+    "inbox_heap",
+    "worker_start_method",
+})
+
+
+def config_canonical_dict(cfg: ArchConfig) -> dict:
+    """The semantic content of a configuration as a plain-JSON dict.
+
+    Drops every :data:`NON_SEMANTIC_FIELDS` entry and normalizes
+    container types (``speed_factors`` tuples become lists) so that two
+    semantically identical configs — however they were constructed —
+    produce structurally equal dicts.  Key order is irrelevant:
+    :func:`config_content_hash` serializes with sorted keys.
+    """
+    payload = dataclasses.asdict(cfg)
+    for name in NON_SEMANTIC_FIELDS:
+        payload.pop(name, None)
+    if payload.get("speed_factors") is not None:
+        payload["speed_factors"] = [float(f) for f in payload["speed_factors"]]
+    return payload
+
+
+def config_content_hash(cfg: ArchConfig) -> str:
+    """Stable sha256 hex digest of the semantic config content.
+
+    Identical semantics give identical hashes regardless of field
+    ordering or non-semantic settings; any change to a semantic field
+    (drift bound, sync policy, topology, shard fences, ...) changes the
+    hash.  The service result cache (``repro.service``) combines this
+    with the workload identity to key cached simulation results.
+    """
+    text = json.dumps(config_canonical_dict(cfg), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 # -- adjacency-matrix topology files ------------------------------------------

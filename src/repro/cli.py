@@ -7,6 +7,7 @@
     python -m repro sweep fig8 --sizes 1,8,64 --scale tiny
     python -m repro policies quicksort --cores 64
     python -m repro fuzz --cases 25 --seed 0
+    python -m repro serve --port 8123 --workers 2 --store /tmp/repro-cache
     python -m repro info
 
 ``run`` simulates one benchmark on one architecture and prints the
@@ -14,7 +15,9 @@ headline numbers; ``sweep`` regenerates a figure/table of the paper's
 evaluation; ``policies`` compares all sync policies on one benchmark;
 ``fuzz`` differentially tests the serial and sharded backends against
 each other (see docs/testing.md); ``obs summarize`` renders the metrics
-a ``--telemetry-out`` run wrote (see docs/observability.md).
+a ``--telemetry-out`` run wrote (see docs/observability.md); ``serve``
+runs the simulation service — an HTTP/JSON API with a job queue and a
+content-hash result cache (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -143,6 +146,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scale", choices=tuple(SCALE_PARAMS),
                        default="small")
     sweep.add_argument("--seeds", type=_sizes, default=(0,))
+
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (HTTP JSON API with a "
+                      "job queue and content-hash result cache)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8123,
+                       help="bind port (default 8123; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="simulation worker threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before submissions get a "
+                            "503 (default 64)")
+    serve.add_argument("--store", default=".repro-service", metavar="DIR",
+                       help="result-cache directory (default "
+                            ".repro-service)")
+    serve.add_argument("--job-timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-job wall-clock limit (default 300)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
 
     pol = sub.add_parser("policies",
                          help="compare sync policies on one benchmark")
@@ -459,6 +483,44 @@ def _cmd_obs(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import signal
+
+    from .service import SimulationService
+
+    service = SimulationService(
+        store_dir=args.store, host=args.host, port=args.port,
+        workers=args.workers, depth=args.queue_depth,
+        job_timeout_s=args.job_timeout, quiet=not args.verbose)
+    print(f"repro service listening on {service.base_url}", file=out)
+    print(f"  result cache : {service.store.root} "
+          f"({len(service.store)} cached)", file=out)
+    print(f"  worker pool  : {args.workers} threads, "
+          f"queue depth {args.queue_depth}, "
+          f"job timeout {args.job_timeout:g}s", file=out)
+    print("  try          : curl -s "
+          f"{service.base_url}/v1/health", file=out)
+
+    # SIGTERM (systemd/docker stop) funnels into the same KeyboardInterrupt
+    # path as Ctrl-C, so both shut down gracefully: stop accepting, then
+    # drain in-flight jobs so accepted work still lands in the cache.
+    def _term(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _term)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down: draining in-flight jobs ...", file=out)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        drained = service.close(drain=True, timeout=args.job_timeout)
+        print("shutdown complete"
+              + ("" if drained else " (some jobs were still unfinished)"),
+              file=out)
+    return 0
+
+
 def _cmd_policies(args, out) -> int:
     from .harness import sync_policy_ablation
     from .harness.report import format_table
@@ -502,6 +564,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             return _cmd_obs(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
     except BrokenPipeError:  # downstream pager/head closed; not an error
         return 0
     raise SystemExit(2)  # pragma: no cover

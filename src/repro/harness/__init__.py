@@ -1,6 +1,7 @@
 """Experiment harness: metrics, per-figure runners, text reports."""
 
-from . import ascii_chart, metrics, report, sweep, trace
+from . import ascii_chart, metrics, report, results, sweep, trace
+from .results import run_record
 from .sweep import sweep as run_sweep, sweep_csv, sweep_table
 from .trace import Tracer
 from .experiments import (
@@ -44,8 +45,10 @@ __all__ = [
     "parallelism_study",
     "polymorphic_experiment",
     "report",
+    "results",
     "run_benchmark",
     "run_cycle_level",
+    "run_record",
     "shadow_time_ablation",
     "sharedmem_experiment",
     "simtime_experiment",

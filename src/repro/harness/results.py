@@ -1,0 +1,84 @@
+"""Plain-JSON serialization of one simulation run's results.
+
+The harness's experiment runners keep results as in-memory
+``RunRecord`` objects; the service layer (and anything else that
+persists runs) needs a flat, deterministic, JSON-safe document instead.
+:func:`run_record` builds that document from the objects a backend run
+already produces — the root result dict, the merged
+:class:`~repro.core.stats.SimStats`, the sharded round-protocol
+counters, a canonical trace digest and a telemetry snapshot — without
+re-deriving anything.
+
+Wall-clock fields (``stats.wall_seconds``) are inherently
+non-deterministic and are kept *out* of the ``result`` block: everything
+under ``result`` and ``stats_vt`` is a pure function of the spec, which
+is what makes a cached document exact.  Host-side measurements live
+under ``host``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..core.stats import SimStats
+
+#: Result-document schema version, bumped on incompatible layout changes.
+RESULT_SCHEMA = 1
+
+
+def run_record(
+    result: Dict[str, Any],
+    stats: SimStats,
+    *,
+    protocol: Optional[Dict[str, Any]] = None,
+    trace_digest: Optional[str] = None,
+    telemetry: Optional[Dict[str, Any]] = None,
+    verified: bool = False,
+) -> Dict[str, Any]:
+    """Serialize one finished run into a plain-JSON document.
+
+    ``result`` is the root task's result dict (``work_vtime`` is the
+    headline number; the raw ``output`` payload is *not* embedded — it
+    can be arbitrarily large and non-JSON; ``verified`` records that the
+    workload's independent checker accepted it).  ``protocol`` is the
+    sharded backend's round-counter dict when one exists,
+    ``trace_digest`` the canonical digest of the run's trace
+    (:func:`repro.harness.trace.trace_digest`), and ``telemetry`` an
+    observability snapshot to embed verbatim.
+
+    Example::
+
+        from repro.arch import build_machine, shared_mesh
+        from repro.harness.results import run_record
+        from repro.workloads import get_workload
+
+        workload = get_workload("quicksort", scale="tiny", seed=0)
+        machine = build_machine(shared_mesh(9))
+        result = machine.run(workload.root)
+        doc = run_record(result, machine.stats, verified=True)
+        assert doc["result"]["work_vtime"] == result["work_vtime"]
+    """
+    stats_dict = stats.as_dict()
+    wall = stats_dict.pop("wall_seconds", 0.0)
+    doc: Dict[str, Any] = {
+        "schema": RESULT_SCHEMA,
+        "result": {
+            "work_vtime": result.get("work_vtime"),
+            "verified": bool(verified),
+        },
+        "stats_vt": stats_dict,
+        "host": {"wall_seconds": wall},
+    }
+    if protocol is not None:
+        # Round/window/byte counters are deterministic; efficiency and
+        # busy-time are wall-clock measurements and move per host/run.
+        proto = dict(protocol)
+        doc["host"]["worker_busy_s"] = proto.pop("worker_busy_s", None)
+        doc["host"]["parallel_efficiency"] = proto.pop(
+            "parallel_efficiency", None)
+        doc["protocol"] = proto
+    if trace_digest is not None:
+        doc["result"]["trace_digest"] = trace_digest
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
+    return doc

@@ -21,8 +21,8 @@ __all__ = [
     "TELEMETRY_PARTS", "Histogram", "MetricsRegistry", "Telemetry",
     "merge_snapshots", "parse_spec", "build_chrome_trace",
     "validate_chrome_trace", "SamplingProfiler", "profile_phases",
-    "collect_snapshot", "write_outputs", "load_metrics",
-    "summarize_metrics",
+    "collect_snapshot", "collect_live_snapshot", "write_outputs",
+    "load_metrics", "summarize_metrics",
 ]
 
 
@@ -34,6 +34,26 @@ def collect_snapshot(backend) -> Optional[dict]:
         return getter()
     telemetry = getattr(backend, "telemetry", None)
     return telemetry.snapshot() if telemetry is not None else None
+
+
+def collect_live_snapshot(backend, retries: int = 5) -> Optional[dict]:
+    """Snapshot a backend's telemetry while it may still be running.
+
+    :func:`collect_snapshot` iterates the registry's plain dicts; when a
+    simulation thread is concurrently incrementing counters that can
+    raise ``RuntimeError: dictionary changed size during iteration``.
+    The registry only ever *adds* keys, so retrying is sound: a retry
+    sees a superset of the previous attempt.  Used by the service layer
+    (``repro.service``) for per-job progress snapshots; returns the
+    last error-free snapshot or ``None`` when every attempt raced or
+    the backend has no telemetry.
+    """
+    for _ in range(max(1, retries)):
+        try:
+            return collect_snapshot(backend)
+        except RuntimeError:
+            continue
+    return None
 
 
 def write_outputs(out_dir: str, metrics: Optional[dict] = None,

@@ -1,0 +1,429 @@
+"""Bounded job queue and worker pool for the simulation service.
+
+A :class:`JobQueue` owns a fixed pool of worker threads pulling from a
+bounded FIFO.  Each job executes through the existing backends —
+:func:`repro.arch.build_backend` picks serial or sharded from the
+spec's ``ArchConfig`` — so the service adds no execution semantics of
+its own.  The queue contributes exactly four behaviours:
+
+* **cache consultation** — a submission whose content hash is already
+  in the :class:`~repro.service.store.ResultStore` completes instantly
+  with ``cache_hit=True`` and *zero* simulation work (the
+  ``service.simulations_started`` counter is the proof);
+* **de-duplication** — a submission whose hash matches a job that is
+  currently queued or running returns *that* job instead of enqueueing
+  a second simulation of the same spec;
+* **per-job timeouts** — each job runs in its own thread which the pool
+  worker joins with a deadline; on expiry the job fails with a
+  ``timeout`` error and any late result from the abandoned run is
+  discarded (never stored, never reported);
+* **graceful drain** — :meth:`JobQueue.shutdown` stops admissions and
+  waits for queued and in-flight jobs to reach a terminal state before
+  stopping the workers, so accepted work is not lost on shutdown.
+
+Job lifecycle: ``queued -> running -> done | failed``; every transition
+is timestamped and queryable via :meth:`JobQueue.get` /
+:meth:`Job.summary`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue as _queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from ..obs.registry import MetricsRegistry
+from .hashing import ResolvedSpec
+from .store import ResultStore
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: In-memory job index soft cap; oldest *terminal* jobs are evicted
+#: beyond it (results stay in the store — only bookkeeping is pruned).
+MAX_JOBS_INDEXED = 4096
+
+
+class QueueFullError(RuntimeError):
+    """The bounded submission queue is at capacity (HTTP 503 material)."""
+
+
+class Job:
+    """One submitted simulation and its lifecycle bookkeeping.
+
+    ``document`` holds the persisted result payload once the job is
+    ``done`` (for cache hits, the stored payload verbatim); ``error``
+    holds a structured ``{"type", "message"}`` dict once ``failed``.
+    ``backend`` references the live execution backend while ``running``
+    so status queries can snapshot its telemetry mid-flight.
+    """
+
+    def __init__(self, job_id: str, spec: ResolvedSpec,
+                 timeout_s: float) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.timeout_s = timeout_s
+        self.state = "queued"
+        self.cache_hit = False
+        self.deduped = False
+        self.document: Optional[Dict[str, Any]] = None
+        self.error: Optional[Dict[str, str]] = None
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.backend: Any = None
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- transitions (queue-internal) ------------------------------------
+    def _start(self, backend_holder: Any = None) -> None:
+        with self._lock:
+            self.state = "running"
+            self.started_at = time.time()
+
+    def _finish(self, document: Dict[str, Any]) -> bool:
+        """Mark done; returns False when the job already reached a
+        terminal state (e.g. a timeout won the race) and the result
+        must be discarded."""
+        with self._lock:
+            if self.state != "running":
+                return False
+            self.state = "done"
+            self.document = document
+            self.finished_at = time.time()
+        self._done.set()
+        return True
+
+    def _fail(self, err_type: str, message: str) -> bool:
+        with self._lock:
+            if self.state in ("done", "failed"):
+                return False
+            self.state = "failed"
+            self.error = {"type": err_type, "message": message}
+            self.finished_at = time.time()
+        self._done.set()
+        return True
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state; True on arrival."""
+        return self._done.wait(timeout)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe lifecycle summary (no result payload)."""
+        with self._lock:
+            return {
+                "job_id": self.job_id,
+                "spec_hash": self.spec.spec_hash,
+                "state": self.state,
+                "cache_hit": self.cache_hit,
+                "deduped": self.deduped,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "error": self.error,
+            }
+
+
+class JobQueue:
+    """Bounded worker pool executing resolved specs against the cache.
+
+    Example::
+
+        import tempfile
+        from repro.service import JobQueue, ResultStore, resolve_spec
+
+        store = ResultStore(tempfile.mkdtemp())
+        jq = JobQueue(store, workers=1)
+        job = jq.submit(resolve_spec({
+            "arch": {"preset": "shared_mesh", "n_cores": 9},
+            "workload": {"benchmark": "quicksort", "scale": "tiny"},
+        }))
+        assert job.wait(120) and job.state == "done"
+        jq.shutdown()
+    """
+
+    def __init__(self, store: ResultStore, workers: int = 2,
+                 depth: int = 64, default_timeout_s: float = 300.0,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.default_timeout_s = default_timeout_s
+        self._queue: _queue.Queue = _queue.Queue(maxsize=depth)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._live_by_hash: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._accepting = True
+        self._seq = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-service-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ------------------------------------------------------
+    def submit(self, spec: ResolvedSpec) -> Job:
+        """Admit one resolved spec; returns its (possibly shared) Job.
+
+        Outcomes, checked in order under the queue lock:
+
+        1. stored result for this hash -> a Job already in ``done`` state
+           with ``cache_hit=True`` (no simulation, no queue slot);
+        2. live job for this hash -> that existing Job, with
+           ``deduped=True`` marking this submission;
+        3. otherwise a fresh Job enters the FIFO (``queued``).
+
+        Raises :class:`QueueFullError` when the FIFO is at capacity and
+        ``RuntimeError`` after :meth:`shutdown`.
+        """
+        counters = self.registry.counters
+        with self._lock:
+            if not self._accepting:
+                raise RuntimeError("job queue is shut down")
+            counters["service.jobs_submitted"] += 1
+            cached = self.store.get(spec.spec_hash)
+            if cached is not None:
+                job = Job(self._next_id(spec), spec,
+                          timeout_s=self._timeout_for(spec))
+                job.cache_hit = True
+                job.state = "done"
+                job.document = cached
+                job.finished_at = job.submitted_at
+                job._done.set()
+                self._index(job)
+                counters["service.cache_hits"] += 1
+                return job
+            live = self._live_by_hash.get(spec.spec_hash)
+            if live is not None:
+                live.deduped = True
+                counters["service.deduped"] += 1
+                return live
+            job = Job(self._next_id(spec), spec,
+                      timeout_s=self._timeout_for(spec))
+            try:
+                self._queue.put_nowait(job)
+            except _queue.Full:
+                counters["service.rejected_full"] += 1
+                raise QueueFullError(
+                    f"queue at capacity ({self._queue.maxsize} jobs)"
+                ) from None
+            self._live_by_hash[spec.spec_hash] = job
+            self._index(job)
+            counters["service.jobs_queued"] += 1
+            return job
+
+    def _timeout_for(self, spec: ResolvedSpec) -> float:
+        timeout = spec.options.get("timeout_s")
+        return float(timeout) if timeout else self.default_timeout_s
+
+    def _next_id(self, spec: ResolvedSpec) -> str:
+        self._seq += 1
+        return f"{spec.short_id}-{self._seq}"
+
+    def _index(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        while len(self._order) > MAX_JOBS_INDEXED:
+            victim = self._jobs.get(self._order[0])
+            if victim is not None and not victim.finished:
+                break  # never evict live bookkeeping
+            self._order.pop(0)
+            if victim is not None:
+                self._jobs.pop(victim.job_id, None)
+
+    # -- queries ---------------------------------------------------------
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job by id, or None when unknown/evicted."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """All indexed jobs, oldest first."""
+        with self._lock:
+            return [self._jobs[jid] for jid in self._order
+                    if jid in self._jobs]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by lifecycle state (for /health)."""
+        out = {state: 0 for state in JOB_STATES}
+        for job in self.jobs():
+            out[job.state] = out.get(job.state, 0) + 1
+        return out
+
+    # -- execution -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            self._run_with_timeout(job)
+            self._queue.task_done()
+
+    def _run_with_timeout(self, job: Job) -> None:
+        """Run one job in a joinable child thread, bounded by its timeout.
+
+        The child thread cannot be killed (Python offers no safe thread
+        cancellation), so on timeout the job is *failed and abandoned*:
+        its eventual result is discarded by the ``_finish`` state guard,
+        the pool slot is reclaimed immediately, and the daemon child
+        exits with the process.  Sharded jobs additionally get the
+        timeout as their per-coordination-step bound, which terminates
+        their worker processes for real.
+        """
+        job._start()
+        runner = threading.Thread(target=self._execute_guarded, args=(job,),
+                                  name=f"repro-job-{job.job_id}", daemon=True)
+        runner.start()
+        runner.join(job.timeout_s)
+        if runner.is_alive():
+            if job._fail("timeout",
+                         f"job exceeded {job.timeout_s:g}s wall-clock limit"):
+                self.registry.counters["service.timeouts"] += 1
+            self._release(job)
+
+    def _execute_guarded(self, job: Job) -> None:
+        try:
+            document = self._execute(job)
+            # Persist *before* the job becomes visibly done, so a client
+            # (or duplicate submission) woken by the done event always
+            # finds the cache entry.  A job the timeout already failed
+            # skips the store entirely — late results are discarded.
+            with job._lock:
+                still_running = job.state == "running"
+            if still_running:
+                self.store.put(job.spec.spec_hash, document)
+            if job._finish(document):
+                self.registry.counters["service.completed"] += 1
+        except Exception as exc:  # noqa: BLE001 - report, don't crash pool
+            if job._fail(type(exc).__name__, str(exc) or repr(exc)):
+                self.registry.counters["service.failures"] += 1
+                self.registry.counters[
+                    f"service.failures.{type(exc).__name__}"] += 1
+            job.trace = traceback.format_exc()
+        finally:
+            job.backend = None
+            self._release(job)
+
+    def _release(self, job: Job) -> None:
+        with self._lock:
+            if self._live_by_hash.get(job.spec.spec_hash) is job:
+                del self._live_by_hash[job.spec.spec_hash]
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Simulate one job through the configured backend.
+
+        Builds the workload and backend exactly like ``python -m repro
+        run`` does, optionally attaches tracing for the canonical
+        digest, verifies the simulated output with the workload's
+        independent checker, and serializes everything with
+        :func:`repro.harness.results.run_record`.
+        """
+        from ..arch import build_backend, build_machine
+        from ..harness.results import run_record
+        from ..harness.trace import trace_digest as digest_fn
+        from ..obs import collect_live_snapshot
+        from ..workloads import get_workload
+
+        spec = job.spec
+        options = spec.options
+        want_digest = bool(options.get("digest", True))
+        overrides: Dict[str, Any] = {}
+        telemetry = options.get("telemetry")
+        if telemetry:
+            overrides["telemetry"] = telemetry
+        self.registry.counters["service.simulations_started"] += 1
+        wl = spec.workload
+        workload = get_workload(wl["benchmark"], scale=wl["scale"],
+                                seed=wl["seed"], memory=spec.cfg.memory)
+        digest: Optional[str] = None
+        if spec.cfg.backend == "sharded":
+            from ..parallel import WorkloadSpec
+
+            if want_digest:
+                overrides["collect_trace"] = True
+            cfg = dataclasses.replace(spec.cfg, **overrides)
+            backend = build_backend(cfg)
+            job.backend = backend
+            (result,) = backend.run_workloads(
+                [WorkloadSpec(wl["benchmark"], scale=wl["scale"],
+                              seed=wl["seed"], memory=cfg.memory,
+                              root_core=wl["root_core"])],
+                timeout=job.timeout_s)
+            stats, protocol = backend.stats, backend.protocol
+            if want_digest and backend.trace is not None:
+                digest = digest_fn(backend.trace)
+        else:
+            cfg = (dataclasses.replace(spec.cfg, **overrides)
+                   if overrides else spec.cfg)
+            machine = build_machine(cfg)
+            job.backend = backend = machine
+            tracer = None
+            if want_digest:
+                from ..harness.trace import Tracer
+
+                tracer = Tracer(machine)
+            result = machine.run(workload.root,
+                                 root_core=wl["root_core"])
+            stats, protocol = machine.stats, None
+            if tracer is not None:
+                digest = digest_fn(tracer.export())
+        workload.verify(result["output"])
+        snapshot = collect_live_snapshot(backend) if telemetry else None
+        document = run_record(result, stats, protocol=protocol,
+                              trace_digest=digest, telemetry=snapshot,
+                              verified=True)
+        document["spec"] = spec.canonical
+        document["spec_hash"] = spec.spec_hash
+        return document
+
+    # -- shutdown --------------------------------------------------------
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = 30.0) -> bool:
+        """Stop the pool; returns True when every job reached a terminal
+        state in time.
+
+        ``drain=True`` (the default) first refuses new submissions, then
+        waits up to ``timeout`` for queued and in-flight jobs to finish;
+        ``drain=False`` fails whatever is still queued immediately
+        (running jobs are abandoned to their timeouts).  Idempotent.
+        """
+        with self._lock:
+            self._accepting = False
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = True
+        if drain:
+            for job in self.jobs():
+                remaining = (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+                if not job.wait(remaining):
+                    drained = False
+        else:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except _queue.Empty:
+                    break
+                if job is not None:
+                    job._fail("shutdown", "queue shut down before execution")
+                    self._release(job)
+                    self._queue.task_done()
+        for _ in self._threads:
+            try:
+                self._queue.put_nowait(None)
+            except _queue.Full:
+                drained = False
+        for t in self._threads:
+            t.join(timeout=1.0)
+        return drained

@@ -1,0 +1,103 @@
+"""On-disk result store keyed by spec content hash.
+
+One JSON file per result, named ``<spec_hash>.json`` under the store
+root.  Writes are atomic (temp file + ``os.replace`` in the same
+directory), so a crashed or concurrent writer can never leave a
+half-written entry where a reader finds it; duplicate writers race
+benignly (both write the same deterministic content).
+
+Reads serve the stored bytes verbatim: a cache hit returns the result
+*bit-identically*, not a re-serialization — which is what lets tests
+(and clients) assert exact payload equality across resubmissions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from typing import Any, Dict, List, Optional
+
+_HASH_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+class ResultStore:
+    """Content-addressed result persistence for the service layer.
+
+    Example::
+
+        import tempfile
+        from repro.service import ResultStore
+        store = ResultStore(tempfile.mkdtemp())
+        store.put("ab" * 32, {"answer": 42})
+        assert store.get("ab" * 32) == {"answer": 42}
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, spec_hash: str) -> str:
+        """Filesystem path an entry lives at (hash is validated first so
+        a malicious 'hash' cannot traverse out of the store root)."""
+        if not _HASH_RE.match(spec_hash):
+            raise ValueError(f"not a spec hash: {spec_hash!r}")
+        return os.path.join(self.root, f"{spec_hash}.json")
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return os.path.exists(self.path_for(spec_hash))
+
+    def get_bytes(self, spec_hash: str) -> Optional[bytes]:
+        """The stored entry verbatim, or ``None`` when absent."""
+        try:
+            with open(self.path_for(spec_hash), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored entry as a dict; ``None`` when absent *or* corrupt
+        (a truncated entry behaves like a miss and gets re-simulated,
+        never served broken)."""
+        raw = self.get_bytes(spec_hash)
+        if raw is None:
+            return None
+        try:
+            return json.loads(raw)
+        except ValueError:
+            return None
+
+    def put(self, spec_hash: str, payload: Dict[str, Any]) -> str:
+        """Atomically persist an entry; returns its path.
+
+        The serialization is deterministic (sorted keys), so two racing
+        writers of the same spec produce byte-identical files and the
+        last ``os.replace`` wins without corruption.
+        """
+        path = self.path_for(spec_hash)
+        data = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def hashes(self) -> List[str]:
+        """Spec hashes currently stored, sorted (for listings/GC)."""
+        out = []
+        for name in os.listdir(self.root):
+            stem, ext = os.path.splitext(name)
+            if ext == ".json" and _HASH_RE.match(stem):
+                out.append(stem)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self.hashes())

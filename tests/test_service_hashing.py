@@ -1,0 +1,183 @@
+"""Cache-identity semantics: what is, and is not, in the spec hash.
+
+The content hash decides when a cached result may be served instead of
+re-simulating, so these tests pin its contract from both sides:
+semantically identical specs (field reordering, observation-only knobs,
+bit-identical kernel selection) must collide, and anything the
+simulator treats as semantic (drift bound, sync policy, shard fences,
+workload identity) must separate.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import ArchConfig, shared_mesh
+from repro.arch.io import (NON_SEMANTIC_FIELDS, config_canonical_dict,
+                           config_content_hash)
+from repro.service import SpecError, canonical_json, resolve_spec, spec_hash
+
+
+def _hash_of(payload):
+    return resolve_spec(payload).spec_hash
+
+
+BASE = {
+    "arch": {"preset": "shared_mesh", "n_cores": 16, "drift_bound": 100.0},
+    "workload": {"benchmark": "quicksort", "scale": "tiny", "seed": 0},
+}
+
+
+class TestConfigIdentity:
+    def test_field_set_is_complete(self):
+        """Every ArchConfig field is either hashed or explicitly waived —
+        a new field added without a decision fails here."""
+        fields = {f.name for f in dataclasses.fields(ArchConfig)}
+        assert NON_SEMANTIC_FIELDS <= fields
+        assert set(config_canonical_dict(ArchConfig())) == \
+            fields - NON_SEMANTIC_FIELDS
+
+    def test_label_is_not_semantic(self):
+        a = shared_mesh(16)
+        b = dataclasses.replace(a, name="anything-else")
+        assert config_content_hash(a) == config_content_hash(b)
+
+    @pytest.mark.parametrize("field,value", [
+        ("engine_kernel", "python"),
+        ("engine_kernel", "compiled"),
+        ("telemetry", "all"),
+        ("sanitize", True),
+        ("collect_trace", True),
+        ("inbox_heap", False),
+        ("worker_start_method", "spawn"),
+    ])
+    def test_non_semantic_fields_do_not_change_hash(self, field, value):
+        a = shared_mesh(16)
+        b = dataclasses.replace(a, **{field: value})
+        assert config_content_hash(a) == config_content_hash(b)
+
+    @pytest.mark.parametrize("field,value", [
+        ("drift_bound", 50.0),
+        ("sync", "conservative"),
+        ("n_cores", 25),
+        ("memory", "distributed"),
+        ("shards", 4),
+        ("dispatch", "random"),
+        ("seed", 7),
+        ("round_batch", 1),
+        ("adaptive_window", False),
+        ("window_max_factor", 2.0),
+        ("work_stealing", True),
+    ])
+    def test_semantic_fields_change_hash(self, field, value):
+        a = shared_mesh(16)
+        b = dataclasses.replace(a, **{field: value})
+        assert config_content_hash(a) != config_content_hash(b)
+
+    def test_backend_is_semantic(self):
+        """Serial vs sharded trajectories may legitimately differ for
+        runs with cross-shard traffic (two-tier fuzzer contract), so the
+        backend must separate cache entries."""
+        a = dataclasses.replace(shared_mesh(16), shards=4)
+        b = dataclasses.replace(a, backend="sharded")
+        assert config_content_hash(a) != config_content_hash(b)
+
+
+class TestSpecHash:
+    def test_stable_across_field_ordering(self):
+        reordered = {
+            "workload": {"seed": 0, "scale": "tiny", "benchmark": "quicksort"},
+            "arch": {"drift_bound": 100.0, "n_cores": 16,
+                     "preset": "shared_mesh"},
+        }
+        assert _hash_of(BASE) == _hash_of(reordered)
+
+    def test_options_never_hashed(self):
+        with_options = dict(BASE, options={"wait": True, "timeout_s": 5,
+                                           "digest": False,
+                                           "telemetry": "all"})
+        assert _hash_of(BASE) == _hash_of(with_options)
+
+    def test_defaults_are_explicit(self):
+        """Omitting a field and stating its default hash identically."""
+        explicit = {
+            "arch": dict(BASE["arch"], sync="spatial"),
+            "workload": dict(BASE["workload"], root_core=0),
+        }
+        assert _hash_of(BASE) == _hash_of(explicit)
+
+    @pytest.mark.parametrize("change", [
+        {"arch": {"preset": "shared_mesh", "n_cores": 16,
+                  "drift_bound": 200.0}},
+        {"arch": {"preset": "shared_mesh", "n_cores": 16, "drift_bound": 100.0,
+                  "sync": "quantum"}},
+        {"workload": {"benchmark": "dijkstra", "scale": "tiny", "seed": 0}},
+        {"workload": {"benchmark": "quicksort", "scale": "small", "seed": 0}},
+        {"workload": {"benchmark": "quicksort", "scale": "tiny", "seed": 1}},
+        {"workload": {"benchmark": "quicksort", "scale": "tiny", "seed": 0,
+                      "root_core": 3}},
+    ])
+    def test_semantic_changes_separate(self, change):
+        assert _hash_of(BASE) != _hash_of(dict(BASE, **change))
+
+    def test_hash_matches_direct_composition(self):
+        spec = resolve_spec(BASE)
+        assert spec.spec_hash == spec_hash(spec.cfg, spec.workload)
+        assert spec.short_id == spec.spec_hash[:12]
+        assert len(spec.spec_hash) == 64
+
+    def test_canonical_json_deterministic(self):
+        a, b = resolve_spec(BASE), resolve_spec(BASE)
+        assert canonical_json(a.canonical) == canonical_json(b.canonical)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("payload,fragment", [
+        ("not a dict", "JSON object"),
+        ({}, "workload"),
+        ({"workload": {"benchmark": "nope"}}, "unknown benchmark"),
+        ({"workload": {"benchmark": "quicksort", "scale": "huge"}},
+         "unknown scale"),
+        ({"workload": {"benchmark": "quicksort", "memory": "shared"}},
+         "derived from the arch config"),
+        ({"workload": {"benchmark": "quicksort", "seed": "zero"}},
+         "seed must be an integer"),
+        ({"workload": {"benchmark": "quicksort", "root_core": 99},
+          "arch": {"n_cores": 8}}, "out of range"),
+        ({"workload": {"benchmark": "quicksort"}, "arch": {"bogus": 1}},
+         "unknown arch field"),
+        ({"workload": {"benchmark": "quicksort"},
+          "arch": {"preset": "warp_drive"}}, "unknown arch preset"),
+        ({"workload": {"benchmark": "quicksort"},
+          "arch": {"n_cores": 0}}, "at least one core"),
+        ({"workload": {"benchmark": "quicksort"},
+          "arch": {"backend": "sharded"}}, "shards"),
+        ({"workload": {"benchmark": "quicksort"},
+          "options": {"frobnicate": 1}}, "unknown option"),
+        ({"workload": {"benchmark": "quicksort"},
+          "options": {"timeout_s": -2}}, "positive"),
+        ({"workload": {"benchmark": "quicksort"}, "extra": {}},
+         "unknown top-level"),
+    ])
+    def test_rejects_with_actionable_message(self, payload, fragment):
+        with pytest.raises(SpecError, match=fragment):
+            resolve_spec(payload)
+
+    def test_arch_section_optional(self):
+        spec = resolve_spec({"workload": {"benchmark": "quicksort",
+                                          "scale": "tiny"}})
+        assert spec.cfg.n_cores == ArchConfig().n_cores
+
+    def test_preset_overrides_revalidate(self):
+        spec = resolve_spec({
+            "arch": {"preset": "dist_mesh", "n_cores": 9, "sync": "quantum"},
+            "workload": {"benchmark": "quicksort", "scale": "tiny"},
+        })
+        assert spec.cfg.memory == "distributed"
+        assert spec.cfg.sync == "quantum"
+        assert spec.workload["memory"] == "distributed"
+
+    def test_request_payload_not_mutated(self):
+        payload = dict(BASE, arch=dict(BASE["arch"]))
+        resolve_spec(payload)
+        assert payload["arch"] == BASE["arch"]

@@ -1,0 +1,190 @@
+"""Job queue semantics: lifecycle, caching, dedupe, timeouts, drain.
+
+The expensive end-to-end properties (digest parity with ``repro run``)
+live in ``tests/test_service_api.py``; here the queue itself is under
+test, with a monkeypatched executor wherever a real simulation would
+only add wall time.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import JobQueue, QueueFullError, ResultStore, resolve_spec
+
+SPEC = {
+    "arch": {"preset": "shared_mesh", "n_cores": 9},
+    "workload": {"benchmark": "quicksort", "scale": "tiny", "seed": 0},
+}
+
+
+def _spec(seed=0, **options):
+    payload = {"arch": dict(SPEC["arch"]),
+               "workload": dict(SPEC["workload"], seed=seed)}
+    if options:
+        payload["options"] = options
+    return resolve_spec(payload)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+def make_queue(store, **kwargs):
+    kwargs.setdefault("workers", 2)
+    return JobQueue(store, **kwargs)
+
+
+class TestLifecycle:
+    def test_runs_to_done_and_persists(self, store):
+        jq = make_queue(store)
+        try:
+            job = jq.submit(_spec())
+            assert job.wait(120) and job.state == "done"
+            assert job.document["result"]["verified"] is True
+            assert job.document["result"]["work_vtime"] > 0
+            assert job.document["spec_hash"] == job.spec.spec_hash
+            assert store.get(job.spec.spec_hash) == job.document
+            assert job.summary()["state"] == "done"
+            assert jq.counts()["done"] == 1
+        finally:
+            jq.shutdown()
+
+    def test_failure_is_structured_not_fatal(self, store, monkeypatch):
+        jq = make_queue(store, workers=1)
+        try:
+            monkeypatch.setattr(
+                JobQueue, "_execute",
+                lambda self, job: (_ for _ in ()).throw(RuntimeError("boom")))
+            job = jq.submit(_spec())
+            assert job.wait(30) and job.state == "failed"
+            assert job.error == {"type": "RuntimeError", "message": "boom"}
+            assert job.spec.spec_hash not in store  # failures never cached
+            assert jq.registry.counters["service.failures"] == 1
+        finally:
+            jq.shutdown()
+
+
+class TestCacheAndDedupe:
+    def test_second_submission_is_exact_cache_hit(self, store):
+        jq = make_queue(store)
+        try:
+            first = jq.submit(_spec())
+            assert first.wait(120) and first.state == "done"
+            second = jq.submit(_spec())
+            assert second.finished and second.cache_hit
+            assert second.job_id != first.job_id
+            # Bit-identical payload, and no new simulation was dispatched.
+            assert second.document == first.document
+            assert jq.registry.counters["service.simulations_started"] == 1
+            assert jq.registry.counters["service.cache_hits"] == 1
+        finally:
+            jq.shutdown()
+
+    def test_concurrent_duplicates_collapse_to_one_simulation(self, store):
+        release = threading.Event()
+        original = JobQueue._execute
+
+        def gated(self, job):
+            release.wait(30)
+            return original(self, job)
+
+        jq = make_queue(store, workers=1)
+        try:
+            JobQueue._execute = gated
+            jobs = [jq.submit(_spec()) for _ in range(6)]
+            assert len({j.job_id for j in jobs}) == 1  # all the same job
+            assert jobs[0].deduped
+            release.set()
+            assert jobs[0].wait(120) and jobs[0].state == "done"
+            assert jq.registry.counters["service.simulations_started"] == 1
+            assert jq.registry.counters["service.deduped"] == 5
+        finally:
+            JobQueue._execute = original
+            release.set()
+            jq.shutdown()
+
+    def test_different_specs_do_not_dedupe(self, store):
+        jq = make_queue(store)
+        try:
+            a, b = jq.submit(_spec(seed=0)), jq.submit(_spec(seed=1))
+            assert a.job_id != b.job_id
+            assert a.wait(120) and b.wait(120)
+            assert a.document["result"] != b.document["result"] or \
+                a.document["spec"] != b.document["spec"]
+            assert jq.registry.counters["service.simulations_started"] == 2
+        finally:
+            jq.shutdown()
+
+
+class TestTimeoutAndBackpressure:
+    def test_timeout_fails_job_and_discards_late_result(self, store,
+                                                        monkeypatch):
+        finished = threading.Event()
+
+        def slow(self, job):
+            time.sleep(1.0)
+            finished.set()
+            return {"late": True}
+
+        monkeypatch.setattr(JobQueue, "_execute", slow)
+        jq = make_queue(store, workers=1)
+        try:
+            job = jq.submit(_spec(timeout_s=0.2))
+            assert job.wait(30) and job.state == "failed"
+            assert job.error["type"] == "timeout"
+            assert jq.registry.counters["service.timeouts"] == 1
+            assert finished.wait(30)           # the runner did finish late...
+            time.sleep(0.1)
+            assert job.state == "failed"       # ...but could not flip the job
+            assert job.document is None
+            assert job.spec.spec_hash not in store
+        finally:
+            jq.shutdown()
+
+    def test_queue_full_raises(self, store, monkeypatch):
+        release = threading.Event()
+        monkeypatch.setattr(JobQueue, "_execute",
+                            lambda self, job: release.wait(30) or {})
+        jq = make_queue(store, workers=1, depth=1)
+        try:
+            jq.submit(_spec(seed=1))            # occupies the worker
+            time.sleep(0.2)
+            jq.submit(_spec(seed=2))            # occupies the one queue slot
+            with pytest.raises(QueueFullError):
+                jq.submit(_spec(seed=3))
+            assert jq.registry.counters["service.rejected_full"] == 1
+        finally:
+            release.set()
+            jq.shutdown()
+
+
+class TestShutdown:
+    def test_drain_waits_for_inflight_jobs(self, store):
+        jq = make_queue(store, workers=1)
+        job = jq.submit(_spec())
+        assert jq.shutdown(drain=True, timeout=120) is True
+        assert job.state == "done"
+        assert store.get(job.spec.spec_hash) is not None
+
+    def test_no_drain_fails_queued_jobs(self, store, monkeypatch):
+        release = threading.Event()
+        monkeypatch.setattr(JobQueue, "_execute",
+                            lambda self, job: release.wait(30) or {})
+        jq = make_queue(store, workers=1, depth=4)
+        running = jq.submit(_spec(seed=1))
+        time.sleep(0.2)
+        queued = jq.submit(_spec(seed=2))
+        jq.shutdown(drain=False, timeout=5)
+        release.set()
+        assert queued.state == "failed"
+        assert queued.error["type"] == "shutdown"
+        assert running.job_id != queued.job_id
+
+    def test_submit_after_shutdown_rejected(self, store):
+        jq = make_queue(store)
+        jq.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            jq.submit(_spec())

@@ -1,0 +1,74 @@
+"""Result store behaviour: atomicity, verbatim serving, corruption."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service import ResultStore
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "cache"))
+
+
+class TestRoundTrip:
+    def test_get_put_contains(self, store):
+        assert HASH_A not in store
+        assert store.get(HASH_A) is None
+        store.put(HASH_A, {"x": 1, "nested": {"y": [1, 2]}})
+        assert HASH_A in store
+        assert store.get(HASH_A) == {"x": 1, "nested": {"y": [1, 2]}}
+        assert store.hashes() == [HASH_A]
+        assert len(store) == 1
+
+    def test_bytes_served_verbatim_and_deterministic(self, store):
+        store.put(HASH_A, {"b": 2, "a": 1})
+        first = store.get_bytes(HASH_A)
+        store.put(HASH_A, {"a": 1, "b": 2})  # same content, other order
+        assert store.get_bytes(HASH_A) == first
+
+    def test_reopen_finds_entries(self, store):
+        store.put(HASH_A, {"x": 1})
+        again = ResultStore(store.root)
+        assert again.get(HASH_A) == {"x": 1}
+
+
+class TestRobustness:
+    def test_rejects_non_hash_keys(self, store):
+        for bad in ("../../etc/passwd", "short", "UPPER" * 13, ""):
+            with pytest.raises(ValueError):
+                store.path_for(bad)
+
+    def test_corrupt_entry_reads_as_miss(self, store):
+        with open(store.path_for(HASH_A), "w") as fh:
+            fh.write('{"truncated": ')
+        assert store.get(HASH_A) is None  # re-simulate, never serve broken
+
+    def test_no_temp_litter_after_puts(self, store):
+        for i in range(5):
+            store.put(HASH_A, {"i": i})
+        leftovers = [n for n in os.listdir(store.root) if n.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_unrelated_files_ignored_in_listing(self, store):
+        with open(os.path.join(store.root, "README.txt"), "w") as fh:
+            fh.write("not a result")
+        store.put(HASH_B, {})
+        assert store.hashes() == [HASH_B]
+
+    def test_concurrent_writers_agree(self, store):
+        payload = {"answer": 42}
+        threads = [threading.Thread(target=store.put, args=(HASH_A, payload))
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.get(HASH_A) == payload
+        assert json.loads(store.get_bytes(HASH_A)) == payload
