@@ -64,7 +64,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("info", help="show the architecture presets and knobs")
 
     run = sub.add_parser("run", help="simulate one benchmark")
-    run.add_argument("benchmark", choices=BENCHMARKS)
+    run.add_argument("benchmark", choices=BENCHMARKS, nargs="?",
+                     help="benchmark name (optional with --resume: the "
+                          "snapshot already carries the workload)")
     run.add_argument("--cores", type=int, default=64)
     run.add_argument("--memory",
                      choices=("shared", "distributed", "numa"),
@@ -116,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry-out", default=None, metavar="DIR",
                      help="write metrics.json / timeline.json under DIR "
                           "(implies --telemetry all)")
+    run.add_argument("--checkpoint-every", type=float, default=None,
+                     metavar="N",
+                     help="snapshot the run every N virtual-time cycles "
+                          "(serial) or N coordination rounds (sharded); "
+                          "requires --checkpoint")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="snapshot file, atomically overwritten at each "
+                          "boundary (see docs/checkpoint.md)")
+    run.add_argument("--resume", default=None, metavar="PATH",
+                     help="restore a snapshot by verified replay and run "
+                          "to completion; architecture/workload flags are "
+                          "taken from the snapshot, not the command line")
 
     obs = sub.add_parser("obs", help="inspect telemetry a run wrote")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -139,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "(as printed on failure)")
     fuzz.add_argument("--no-sanitize", action="store_true",
                       help="digest/stat diffing only, runtime checks off")
+    fuzz.add_argument("--snapshot", action="store_true",
+                      help="snapshot mode: per case, pin run(0..end) == "
+                           "run(0..k); restore; run(k..end) at a random "
+                           "boundary k instead of serial-vs-sharded")
 
     sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
     sweep.add_argument("figure", choices=SWEEPS)
@@ -281,7 +299,72 @@ def _make_config(args):
     )
 
 
+def _cmd_run_checkpoint(args, out) -> int:
+    """``run`` in checkpoint/resume mode (repro.checkpoint drivers)."""
+    from .checkpoint import (load_snapshot, resume_run, run_checkpointed,
+                             save_snapshot)
+    from .parallel import WorkloadSpec
+
+    path = args.checkpoint
+    if args.checkpoint_every is not None and not path:
+        raise SystemExit("--checkpoint-every requires --checkpoint PATH")
+    written = [0]
+
+    def sink(snap):
+        save_snapshot(snap, path)
+        written[0] += 1
+
+    if args.resume:
+        snap = load_snapshot(args.resume)
+        boundary = snap.boundary
+        print(f"resuming {snap.kind} run from {args.resume} at "
+              f"{boundary['kind']} {boundary['value']:g} "
+              f"(verified replay)", file=out)
+        outcome = resume_run(
+            args.resume,
+            checkpoint_every=args.checkpoint_every,
+            sink=sink if args.checkpoint_every is not None else None)
+        specs = snap.rebuild_workloads()
+    else:
+        if args.benchmark is None:
+            raise SystemExit("run: benchmark is required unless --resume")
+        cfg = _make_config(args)
+        specs = [WorkloadSpec(args.benchmark, scale=args.scale,
+                              seed=args.seed, memory=cfg.memory,
+                              root_core=0)]
+        outcome = run_checkpointed(cfg, specs, args.checkpoint_every, sink)
+
+    verified = False
+    spec = specs[0]
+    result = outcome["results"][0]
+    if not spec.factory:
+        workload = get_workload(spec.benchmark, scale=spec.scale,
+                                seed=spec.seed, memory=spec.memory)
+        workload.verify(result["output"])
+        verified = True
+        print(f"benchmark        : {spec.benchmark} {workload.meta}",
+              file=out)
+    print(f"virtual time     : {outcome['completion']:.1f} cycles",
+          file=out)
+    print(f"tasks started    : {outcome['stats_vt']['tasks_started']}",
+          file=out)
+    print(f"messages         : {sum(outcome['messages'].values())}",
+          file=out)
+    print(f"host wall        : {outcome['host']['wall_seconds']:.3f} s",
+          file=out)
+    if written[0]:
+        print(f"checkpoints      : {written[0]} written -> {path}",
+              file=out)
+    if verified:
+        print("output verified  : yes", file=out)
+    return 0
+
+
 def _cmd_run(args, out) -> int:
+    if args.resume or args.checkpoint_every is not None:
+        return _cmd_run_checkpoint(args, out)
+    if args.benchmark is None:
+        raise SystemExit("run: benchmark is required unless --resume")
     cfg = _make_config(args)
     workload = get_workload(args.benchmark, scale=args.scale, seed=args.seed,
                             memory=cfg.memory)
@@ -378,7 +461,7 @@ def _cmd_fuzz(args, out) -> int:
 
     return fuzz_main(cases=args.cases, seed=args.seed,
                      sanitize=not args.no_sanitize,
-                     case_json=args.case, out=out)
+                     case_json=args.case, snapshot=args.snapshot, out=out)
 
 
 def _cmd_sweep(args, out) -> int:

@@ -406,6 +406,44 @@ class Machine:
         self.finish_run()
         return [t.result for t in self.root_tasks]
 
+    def resume_run(self, stop_at_vtime: Optional[float] = None) -> List[Any]:
+        """Continue a run that ``stop_at_vtime`` interrupted.
+
+        The single-use contract still holds — this continues the *same*
+        run on the same machine rather than starting a new one.  The
+        interrupted ``_drain_ready`` pass picks up at the exact core it
+        stopped on (the stop branch re-queues it on the left), so a
+        stopped-then-resumed run executes the identical host-order
+        trajectory as an uninterrupted one — the property the
+        checkpoint subsystem (``repro.checkpoint``) verifies bit-exactly.
+
+        Example::
+
+            machine.run(workload.root, stop_at_vtime=5_000.0)
+            results = machine.resume_run()          # runs to completion
+        """
+        if not self._ran:
+            raise SimError("resume_run() continues a run started by "
+                           "run()/run_roots(); nothing has run yet")
+        self._stop_at_vtime = stop_at_vtime
+        with WallTimer(self.stats):
+            self._main_loop()
+        self.finish_run()
+        return [t.result for t in self.root_tasks]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Capture this machine's complete run state at a safe point.
+
+        Safe points are wherever no slice is in flight: after a
+        ``stop_at_vtime`` return, between sharded coordination rounds,
+        or after completion.  Returns the two-section capture dict of
+        ``repro.checkpoint.state`` (``det`` bit-exact, ``host``
+        informational), encodable by the snapshot codec.
+        """
+        from ..checkpoint.state import capture_machine_state
+
+        return capture_machine_state(self)
+
     # -- shard-executable stepping interface -----------------------------
     #
     # The sharded backend (repro.parallel) drives a Machine replica one
@@ -789,11 +827,20 @@ class Machine:
                 pops += 1
                 if pops % interval == 0:
                     self._sample_parallelism()
-            if (self._stop_at_vtime is not None
+            if (self._stop_at_vtime is not None and self.live_tasks > 0
                     and self.fabric.max_vtime >= self._stop_at_vtime):
-                # Keep the interrupted core schedulable for inspection.
-                if core.has_work():
-                    self._make_ready(core)
+                # Push the popped core back on the LEFT, untouched: a
+                # resumed run (checkpoint/restore, repro.checkpoint)
+                # must pop it next and see exactly the state a straight
+                # run would have — including the no-work -> _go_idle
+                # transition, which is deferred rather than taken here.
+                # Once live_tasks hits 0 the run is completing and the
+                # stop must not fire: the remaining pops only drain
+                # in-flight protocol messages, exactly as a straight
+                # run does before returning.
+                if not in_ready_col[core.cid]:
+                    in_ready_col[core.cid] = 1
+                    ready.appendleft(core)
                 return progressed
             if not core.has_work():
                 self._go_idle(core)

@@ -158,18 +158,39 @@ class ShardedMachine:
             self.telemetry = Telemetry(cfg.telemetry, cfg.n_cores)
         self._board: Optional[SharedRoundBoard] = None
         self._ran = False
+        # Checkpoint/restore hooks; see run_workloads.
+        self._checkpoint_every: Optional[int] = None
+        self._checkpoint_sink = None
+        self._verify_round: Optional[int] = None
+        self._verify_states: Optional[List[dict]] = None
 
     # -- public API ------------------------------------------------------
     def run_workloads(
         self,
         specs: Sequence[WorkloadSpec],
         timeout: Optional[float] = 300.0,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_sink=None,
+        verify_round: Optional[int] = None,
+        verify_states: Optional[List[dict]] = None,
     ) -> List[object]:
         """Run the given workload roots to completion; return their results
         in spec order.
 
         ``timeout`` bounds each coordination step (per-worker reply
         wait), not the whole run; ``None`` disables it.
+
+        Checkpointing (``repro.checkpoint``): with ``checkpoint_every``
+        set, every that-many coordination rounds the coordinator pauses
+        at the round barrier, asks each worker for its machine-state
+        capture, and hands ``(round_no, [state, ...])`` to
+        ``checkpoint_sink``.  With ``verify_round``/``verify_states``
+        set, this run is a *restore replay*: at that round barrier each
+        worker's capture must be bit-identical to the stored one —
+        :class:`~repro.checkpoint.codec.CheckpointMismatchError`
+        otherwise, including when the run ends before ever reaching the
+        round.
         """
         if self._ran:
             raise SimError(
@@ -180,6 +201,21 @@ class ShardedMachine:
             if not 0 <= spec.root_core < self.cfg.n_cores:
                 raise SimConfigError(
                     f"root core {spec.root_core} out of range")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise SimConfigError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if (verify_states is not None
+                and len(verify_states) != self.partition.n_shards):
+            from ..checkpoint.codec import CheckpointError
+
+            raise CheckpointError(
+                f"snapshot holds {len(verify_states)} shard states but "
+                f"this run has {self.partition.n_shards} shards; restoring "
+                "onto a different shard count is not supported")
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_sink = checkpoint_sink
+        self._verify_round = verify_round
+        self._verify_states = verify_states
         t_start = time.perf_counter()
         self._t0 = t_start  # wall-clock origin for telemetry events
         self._profiler = None
@@ -305,6 +341,15 @@ class ShardedMachine:
             live = sum(s[3] for s in statuses)
             if live == 0:
                 break
+            # Round barrier: workers are blocked on the next command, so
+            # their machine state is frozen — the safe point for
+            # checkpoint capture and restore verification.
+            if self._verify_round == self.rounds:
+                self._verify_worker_states(ctrl, timeout)
+            elif (self._checkpoint_every is not None
+                    and self.rounds % self._checkpoint_every == 0):
+                self._checkpoint_sink(
+                    self.rounds, self._collect_worker_states(ctrl, timeout))
             sent_total = sum(s[2] for s in statuses)
             progressed = any(s[1] for s in statuses) or sent_total > 0
             global_min = min(s[4] for s in statuses)
@@ -338,9 +383,34 @@ class ShardedMachine:
                 horizon = global_min + T * window
             else:
                 horizon = INF
+        if (self._verify_round is not None
+                and self.rounds < self._verify_round):
+            from ..checkpoint.codec import CheckpointMismatchError
+
+            raise CheckpointMismatchError(
+                f"restore replay completed after {self.rounds} rounds, "
+                f"before reaching the snapshot's round "
+                f"{self._verify_round}; the replay did not reproduce the "
+                "checkpointed trajectory")
         for conn in ctrl:
             conn.send(("stop",))
         return self._finalize(specs, ctrl, timeout)
+
+    def _collect_worker_states(self, ctrl, timeout) -> List[dict]:
+        """Gather every worker's machine-state capture at a barrier."""
+        for conn in ctrl:
+            conn.send(("snapshot",))
+        return [self._expect(conn, "state", timeout)[1] for conn in ctrl]
+
+    def _verify_worker_states(self, ctrl, timeout) -> None:
+        from ..checkpoint.state import verify_machine_state
+
+        for sid, actual in enumerate(self._collect_worker_states(ctrl,
+                                                                 timeout)):
+            try:
+                verify_machine_state(self._verify_states[sid], actual)
+            except Exception as exc:
+                raise type(exc)(f"shard {sid}: {exc}") from None
 
     def _window_lift(self, window: float) -> float:
         """Extra drift permission shipped with a round's ``go``: the

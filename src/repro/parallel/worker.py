@@ -32,6 +32,10 @@ control pipe:
     4. Publish boundary times and the (active, vtime) snapshot to the
        board, ship message batches (counts into the board, columns over
        the edge pipes), and reply with a slim status tuple.
+``("snapshot",)``
+    Reply with this worker's machine-state capture
+    (``repro.checkpoint.state``) — sent at a round barrier, where no
+    slice is in flight and the capture is a pure read.
 ``("stop",)``
     Finalize stats and reply with results plus per-edge byte counts and
     this worker's cumulative busy wall time.
@@ -243,6 +247,13 @@ def _worker_loop(sid, cfg, specs, edge_conns, ctrl_conn, board_name) -> None:
                 ctrl_conn.send(("status", progressed, sent,
                                 machine.live_tasks,
                                 machine.shard_min_time()))
+            elif op == "snapshot":
+                # Round barrier: no slice in flight, inboxes and planes
+                # frozen — the safe point for checkpoint capture
+                # (repro.checkpoint).  Capture is a pure read.
+                from ..checkpoint.state import capture_machine_state
+
+                ctrl_conn.send(("state", capture_machine_state(machine)))
             elif op == "stop":
                 machine.finish_run()
                 results = {i: task.result for i, task in roots}

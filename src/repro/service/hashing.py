@@ -70,7 +70,8 @@ PRESETS = {
 
 #: Recognized ``options`` keys (everything else is rejected so typos
 #: fail loudly instead of silently doing nothing).
-OPTION_KEYS = frozenset({"wait", "timeout_s", "digest", "telemetry"})
+OPTION_KEYS = frozenset({"wait", "timeout_s", "digest", "telemetry",
+                         "checkpoint_every"})
 
 
 class SpecError(ValueError):
@@ -269,12 +270,19 @@ def _resolve_options(payload: Any) -> Dict[str, Any]:
         "timeout_s": payload.get("timeout_s"),
         "digest": bool(payload.get("digest", True)),
         "telemetry": payload.get("telemetry", "counters"),
+        "checkpoint_every": payload.get("checkpoint_every"),
     }
     timeout = options["timeout_s"]
     if timeout is not None and (not isinstance(timeout, (int, float))
                                 or isinstance(timeout, bool)
                                 or timeout <= 0):
         raise SpecError(f"timeout_s must be a positive number, got {timeout!r}")
+    every = options["checkpoint_every"]
+    if every is not None and (not isinstance(every, (int, float))
+                              or isinstance(every, bool) or every <= 0):
+        raise SpecError("checkpoint_every must be a positive number "
+                        f"(virtual-time cycles serial / rounds sharded), "
+                        f"got {every!r}")
     return options
 
 

@@ -17,6 +17,14 @@ its own.  The queue contributes exactly four behaviours:
   worker joins with a deadline; on expiry the job fails with a
   ``timeout`` error and any late result from the abandoned run is
   discarded (never stored, never reported);
+* **checkpointed execution** — a job submitted with the
+  ``checkpoint_every`` option persists a run snapshot
+  (``repro.checkpoint``) beside the result cache at every boundary it
+  crosses; when a checkpointing job dies or times out, the snapshot is
+  retained and the job is marked ``resumable``, so resubmitting the
+  same spec *resumes* from the last checkpoint (verified replay)
+  instead of restarting, completes to the bit-identical document, and
+  deletes the snapshot on success;
 * **graceful drain** — :meth:`JobQueue.shutdown` stops admissions and
   waits for queued and in-flight jobs to reach a terminal state before
   stopping the workers, so accepted work is not lost on shutdown.
@@ -29,6 +37,7 @@ is timestamped and queryable via :meth:`JobQueue.get` /
 from __future__ import annotations
 
 import dataclasses
+import os
 import queue as _queue
 import threading
 import time
@@ -51,6 +60,13 @@ class QueueFullError(RuntimeError):
     """The bounded submission queue is at capacity (HTTP 503 material)."""
 
 
+def _after_checkpoint(job: "Job", path: str) -> None:
+    """Seam invoked after every checkpoint persist.
+
+    A no-op in production; tests monkeypatch it to simulate a worker
+    dying mid-run with a checkpoint already on disk."""
+
+
 class Job:
     """One submitted simulation and its lifecycle bookkeeping.
 
@@ -69,6 +85,7 @@ class Job:
         self.state = "queued"
         self.cache_hit = False
         self.deduped = False
+        self.resumable = False  # a retained checkpoint can resume this spec
         self.document: Optional[Dict[str, Any]] = None
         self.error: Optional[Dict[str, str]] = None
         self.submitted_at = time.time()
@@ -125,6 +142,7 @@ class Job:
                 "state": self.state,
                 "cache_hit": self.cache_hit,
                 "deduped": self.deduped,
+                "resumable": self.resumable,
                 "submitted_at": self.submitted_at,
                 "started_at": self.started_at,
                 "finished_at": self.finished_at,
@@ -288,9 +306,21 @@ class JobQueue:
         runner.start()
         runner.join(job.timeout_s)
         if runner.is_alive():
-            if job._fail("timeout",
-                         f"job exceeded {job.timeout_s:g}s wall-clock limit"):
+            # A checkpointing job is not *lost* on timeout: its latest
+            # snapshot stays on disk and the job is marked resumable,
+            # so resubmitting the same spec continues from the
+            # checkpoint instead of restarting from zero.
+            resumable = self._checkpoint_on_disk(job)
+            message = f"job exceeded {job.timeout_s:g}s wall-clock limit"
+            if resumable:
+                message += ("; checkpoint retained, resubmit to resume "
+                            "from it")
+            if resumable:
+                job.resumable = True  # before the fail event wakes waiters
+            if job._fail("timeout", message):
                 self.registry.counters["service.timeouts"] += 1
+                if resumable:
+                    self.registry.counters["service.timeouts_resumable"] += 1
             self._release(job)
 
     def _execute_guarded(self, job: Job) -> None:
@@ -304,14 +334,21 @@ class JobQueue:
                 still_running = job.state == "running"
             if still_running:
                 self.store.put(job.spec.spec_hash, document)
+                # The run is complete and cached; its checkpoint (if
+                # any) has nothing left to resume.
+                self._discard_checkpoint(job)
             if job._finish(document):
                 self.registry.counters["service.completed"] += 1
         except Exception as exc:  # noqa: BLE001 - report, don't crash pool
+            # Flag resumability *before* the fail event wakes waiters,
+            # so a client observing the terminal state always sees it.
+            if self._checkpoint_on_disk(job):
+                job.resumable = True
+            job.trace = traceback.format_exc()
             if job._fail(type(exc).__name__, str(exc) or repr(exc)):
                 self.registry.counters["service.failures"] += 1
                 self.registry.counters[
                     f"service.failures.{type(exc).__name__}"] += 1
-            job.trace = traceback.format_exc()
         finally:
             job.backend = None
             self._release(job)
@@ -320,6 +357,25 @@ class JobQueue:
         with self._lock:
             if self._live_by_hash.get(job.spec.spec_hash) is job:
                 del self._live_by_hash[job.spec.spec_hash]
+
+    # -- checkpoints -----------------------------------------------------
+    def _checkpoint_path(self, job: Job) -> str:
+        """Snapshot file for a spec, keyed by content hash beside the
+        result cache (one live checkpoint per distinct simulation)."""
+        return os.path.join(self.store.root, "checkpoints",
+                            f"{job.spec.spec_hash}.ckpt")
+
+    def _checkpoint_on_disk(self, job: Job) -> bool:
+        return (bool(job.spec.options.get("checkpoint_every"))
+                and os.path.exists(self._checkpoint_path(job)))
+
+    def _discard_checkpoint(self, job: Job) -> None:
+        if not job.spec.options.get("checkpoint_every"):
+            return
+        try:
+            os.remove(self._checkpoint_path(job))
+        except OSError:
+            pass
 
     def _execute(self, job: Job) -> Dict[str, Any]:
         """Simulate one job through the configured backend.
@@ -338,6 +394,8 @@ class JobQueue:
 
         spec = job.spec
         options = spec.options
+        if options.get("checkpoint_every"):
+            return self._execute_checkpointed(job)
         want_digest = bool(options.get("digest", True))
         overrides: Dict[str, Any] = {}
         telemetry = options.get("telemetry")
@@ -376,6 +434,133 @@ class JobQueue:
                 tracer = Tracer(machine)
             result = machine.run(workload.root,
                                  root_core=wl["root_core"])
+            stats, protocol = machine.stats, None
+            if tracer is not None:
+                digest = digest_fn(tracer.export())
+        workload.verify(result["output"])
+        snapshot = collect_live_snapshot(backend) if telemetry else None
+        document = run_record(result, stats, protocol=protocol,
+                              trace_digest=digest, telemetry=snapshot,
+                              verified=True)
+        document["spec"] = spec.canonical
+        document["spec_hash"] = spec.spec_hash
+        return document
+
+    def _execute_checkpointed(self, job: Job) -> Dict[str, Any]:
+        """Checkpointing twin of :meth:`_execute`.
+
+        Runs the same simulation, but persists a snapshot at every
+        ``checkpoint_every`` boundary (virtual-time cycles serial,
+        coordination rounds sharded), and when a retained snapshot for
+        this spec hash already exists, *resumes* from it by verified
+        replay (``repro.checkpoint``) instead of restarting.  The final
+        document is bit-identical either way.  A corrupt or
+        version-mismatched snapshot file is discarded and the run
+        starts fresh; a replay divergence
+        (``CheckpointMismatchError``) fails the job loudly.
+        """
+        from ..arch import build_backend, build_machine
+        from ..checkpoint import (CheckpointCorruptError,
+                                  CheckpointVersionError, load_snapshot,
+                                  make_snapshot, save_snapshot)
+        from ..checkpoint.state import (capture_machine_state,
+                                        verify_machine_state)
+        from ..harness.results import run_record
+        from ..harness.trace import trace_digest as digest_fn
+        from ..obs import collect_live_snapshot
+        from ..parallel import WorkloadSpec
+        from ..workloads import get_workload
+
+        spec = job.spec
+        options = spec.options
+        every = float(options["checkpoint_every"])
+        want_digest = bool(options.get("digest", True))
+        telemetry = options.get("telemetry")
+        overrides: Dict[str, Any] = {}
+        if telemetry:
+            overrides["telemetry"] = telemetry
+        path = self._checkpoint_path(job)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        snap = None
+        if os.path.exists(path):
+            try:
+                snap = load_snapshot(path)
+            except (CheckpointCorruptError, CheckpointVersionError):
+                os.remove(path)  # unusable: start fresh
+        if snap is not None:
+            self.registry.counters["service.resumed_from_checkpoint"] += 1
+        self.registry.counters["service.simulations_started"] += 1
+        wl = spec.workload
+        workload = get_workload(wl["benchmark"], scale=wl["scale"],
+                                seed=wl["seed"], memory=spec.cfg.memory)
+        # A resume rebuilds from the snapshot's own config: non-semantic
+        # fields (engine kernel, inbox layout) shape the *captured*
+        # state, so the replay machine must match the capturing one.
+        base_cfg = snap.rebuild_config() if snap is not None else spec.cfg
+        digest: Optional[str] = None
+        if spec.cfg.backend == "sharded":
+            if want_digest:
+                overrides["collect_trace"] = True
+            cfg = dataclasses.replace(base_cfg, **overrides)
+            wspecs = [WorkloadSpec(wl["benchmark"], scale=wl["scale"],
+                                   seed=wl["seed"], memory=cfg.memory,
+                                   root_core=wl["root_core"])]
+
+            def sink(round_no: int, states: List[Dict[str, Any]]) -> None:
+                save_snapshot(make_snapshot(
+                    "sharded", cfg, wspecs,
+                    {"kind": "round", "value": round_no}, states,
+                    note=spec.spec_hash), path)
+                _after_checkpoint(job, path)
+
+            backend = build_backend(cfg)
+            job.backend = backend
+            kwargs: Dict[str, Any] = dict(checkpoint_every=int(every),
+                                          checkpoint_sink=sink)
+            if snap is not None:
+                kwargs.update(verify_round=int(snap.boundary["value"]),
+                              verify_states=snap.states)
+            (result,) = backend.run_workloads(wspecs, timeout=job.timeout_s,
+                                              **kwargs)
+            stats, protocol = backend.stats, backend.protocol
+            if want_digest and backend.trace is not None:
+                digest = digest_fn(backend.trace)
+        else:
+            cfg = (dataclasses.replace(base_cfg, **overrides)
+                   if overrides else base_cfg)
+            wspecs = [WorkloadSpec(wl["benchmark"], scale=wl["scale"],
+                                   seed=wl["seed"], memory=cfg.memory,
+                                   root_core=wl["root_core"])]
+            machine = build_machine(cfg)
+            job.backend = backend = machine
+            tracer = None
+            if want_digest:
+                from ..harness.trace import Tracer
+
+                tracer = Tracer(machine)
+            roots = [(workload.root, (), wl["root_core"])]
+            if snap is not None:
+                k = float(snap.boundary["value"])
+                machine.run_roots(roots, stop_at_vtime=k)
+                verify_machine_state(snap.states[0],
+                                     capture_machine_state(machine))
+                while k <= machine.fabric.max_vtime:
+                    k += every
+                results = machine.resume_run(stop_at_vtime=k)
+            else:
+                k = every
+                results = machine.run_roots(roots, stop_at_vtime=k)
+            while machine.live_tasks > 0:
+                save_snapshot(make_snapshot(
+                    "serial", cfg, wspecs,
+                    {"kind": "vtime", "value": k},
+                    [capture_machine_state(machine)],
+                    note=spec.spec_hash), path)
+                _after_checkpoint(job, path)
+                while k <= machine.fabric.max_vtime:
+                    k += every
+                results = machine.resume_run(stop_at_vtime=k)
+            result = results[0]
             stats, protocol = machine.stats, None
             if tracer is not None:
                 digest = digest_fn(tracer.export())

@@ -297,6 +297,67 @@ def run_case(case: FuzzCase, sanitize: bool = True) -> Tuple[bool, Dict]:
     return True, report
 
 
+def run_snapshot_case(case: FuzzCase, sanitize: bool = True
+                      ) -> Tuple[bool, Dict]:
+    """Split-run equivalence for one case (``fuzz --snapshot``).
+
+    Pins ``run(0..end) == run(0..k); restore; run(k..end)`` — results,
+    completion vtime, message counts, stats and trace digest all
+    bit-identical — at a case-derived random boundary ``k``: a
+    virtual-time stop for the serial backend, and (when the straight
+    run spans at least two rounds) a coordination round for the sharded
+    one.  The checkpointed run itself must also match the straight run,
+    i.e. snapshotting is observation-only.
+    """
+    from ..checkpoint import run_straight, split_run
+
+    report: Dict = {"case": case.to_json(), "mode": "snapshot"}
+    rng = random.Random(case.seed * 9_176_549 + 11)
+    mismatches: List[str] = []
+
+    def det(outcome):
+        return {k: v for k, v in outcome.items() if k != "host"}
+
+    try:
+        specs = case.specs()
+        cfg = case.config("serial", sanitize)
+        straight = run_straight(cfg, specs)
+        k = max(1.0, straight["completion"] * rng.uniform(0.2, 0.8))
+        snap, chk, resumed = split_run(cfg, specs, k)
+        report["serial_boundary"] = (None if snap is None
+                                     else snap.boundary["value"])
+        if det(chk) != det(straight):
+            mismatches.append("serial checkpointed run diverged from the "
+                              "straight run")
+        if snap is not None and det(resumed) != det(straight):
+            mismatches.append(f"serial resume from vtime {k:.1f} diverged "
+                              f"from the straight run")
+        report["digest"] = straight["digest"]
+
+        if case.shards > 1:
+            cfg_sh = case.config("sharded", sanitize)
+            straight_sh = run_straight(cfg_sh, specs)
+            rounds = straight_sh["protocol"]["rounds"]
+            if rounds >= 2:
+                r = rng.randint(1, rounds - 1)
+                snap_sh, chk_sh, resumed_sh = split_run(cfg_sh, specs, r)
+                report["sharded_boundary"] = (None if snap_sh is None
+                                              else r)
+                if det(chk_sh) != det(straight_sh):
+                    mismatches.append("sharded checkpointed run diverged "
+                                      "from the straight run")
+                if snap_sh is not None and det(resumed_sh) != det(straight_sh):
+                    mismatches.append(f"sharded resume from round {r} "
+                                      f"diverged from the straight run")
+    except Exception as exc:  # CheckpointMismatchError, SimDeadlock, ...
+        report["error"] = f"{type(exc).__name__}: {exc}"
+        return False, report
+    if mismatches:
+        report["mismatches"] = mismatches
+        return False, report
+    return True, report
+
+
 def _failure_signature(report: Dict) -> Tuple:
     """Coarse failure class, so shrinking cannot morph one bug into
     another (e.g. dropping half a pingpong pair turns a digest mismatch
@@ -308,16 +369,18 @@ def _failure_signature(report: Dict) -> Tuple:
 
 
 def shrink_case(case: FuzzCase, sanitize: bool = True,
-                budget: int = 16) -> FuzzCase:
+                budget: int = 16, runner=run_case) -> FuzzCase:
     """Greedy shrink: keep a simplification only while it reproduces the
-    *same class* of failure."""
-    ok, report = run_case(case, sanitize)
+    *same class* of failure.  ``runner`` is the ``(case, sanitize) ->
+    (ok, report)`` oracle — :func:`run_case` for conformance failures,
+    :func:`run_snapshot_case` for split-run failures."""
+    ok, report = runner(case, sanitize)
     if ok:
         return case
     signature = _failure_signature(report)
 
     def still_fails(candidate: FuzzCase) -> bool:
-        ok, rep = run_case(candidate, sanitize)
+        ok, rep = runner(candidate, sanitize)
         return not ok and _failure_signature(rep) == signature
 
     current = case
@@ -349,11 +412,14 @@ def shrink_case(case: FuzzCase, sanitize: bool = True,
 # -- CLI entry -------------------------------------------------------------
 
 def fuzz_main(cases: int, seed: int, sanitize: bool,
-              case_json: Optional[str], out) -> int:
+              case_json: Optional[str], out,
+              snapshot: bool = False) -> int:
     """Back end of ``python -m repro fuzz``; returns the exit code."""
+    runner = run_snapshot_case if snapshot else run_case
+    repro_flag = " --snapshot" if snapshot else ""
     if case_json is not None:
         case = FuzzCase.from_json(case_json)
-        ok, report = run_case(case, sanitize)
+        ok, report = runner(case, sanitize)
         print(f"case {case.describe()}", file=out)
         _print_report(ok, report, out)
         return 0 if ok else 1
@@ -362,7 +428,7 @@ def fuzz_main(cases: int, seed: int, sanitize: bool,
     for i in range(cases):
         case_seed = seed * 1_000_003 + i
         case = generate_case(random.Random(case_seed), seed=case_seed)
-        ok, report = run_case(case, sanitize)
+        ok, report = runner(case, sanitize)
         status = "ok" if ok else "FAIL"
         print(f"[{i + 1:3d}/{cases}] {status:4s} "
               f"({report.get('mode', 'error'):>11s}) {case.describe()}",
@@ -370,12 +436,12 @@ def fuzz_main(cases: int, seed: int, sanitize: bool,
         if not ok:
             failures += 1
             _print_report(ok, report, out)
-            shrunk = shrink_case(case, sanitize)
+            shrunk = shrink_case(case, sanitize, runner=runner)
             if shrunk.to_json() != case.to_json():
                 print(f"  shrunk to: {shrunk.describe()}", file=out)
             print("  reproduce with:", file=out)
-            print(f"    python -m repro fuzz --case '{shrunk.to_json()}'",
-                  file=out)
+            print(f"    python -m repro fuzz{repro_flag} "
+                  f"--case '{shrunk.to_json()}'", file=out)
     if failures:
         print(f"{failures}/{cases} cases failed", file=out)
         return 1

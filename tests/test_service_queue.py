@@ -6,6 +6,7 @@ test, with a monkeypatched executor wherever a real simulation would
 only add wall time.
 """
 
+import os
 import threading
 import time
 
@@ -158,6 +159,119 @@ class TestTimeoutAndBackpressure:
             assert jq.registry.counters["service.rejected_full"] == 1
         finally:
             release.set()
+            jq.shutdown()
+
+
+class TestCheckpointRecovery:
+    """A checkpointing job that dies mid-run must *resume*, not restart.
+
+    The ``checkpoint_every`` option persists a snapshot beside the result
+    cache at every boundary; ``repro.service.queue._after_checkpoint`` is
+    the test seam for killing a worker right after a persist.
+    """
+
+    CKPT = {"checkpoint_every": 2000}
+
+    @staticmethod
+    def _sans_host(document):
+        # Uninterrupted vs resumed documents may differ only in the
+        # host-observation section (wall clock).
+        return {k: v for k, v in document.items() if k != "host"}
+
+    def _reference_document(self, tmp_path):
+        ref_store = ResultStore(str(tmp_path / "ref-cache"))
+        jq = make_queue(ref_store, workers=1)
+        try:
+            job = jq.submit(_spec())
+            assert job.wait(120) and job.state == "done"
+            return job.document
+        finally:
+            jq.shutdown()
+
+    def test_killed_job_resumes_to_identical_result(self, store, tmp_path,
+                                                    monkeypatch):
+        import repro.service.queue as queue_mod
+
+        reference = self._reference_document(tmp_path)
+        crashes = []
+
+        def die_once(job, path):
+            if not crashes:
+                crashes.append(path)
+                raise RuntimeError("worker killed after checkpoint")
+
+        monkeypatch.setattr(queue_mod, "_after_checkpoint", die_once)
+        jq = make_queue(store, workers=1)
+        try:
+            counters = jq.registry.counters
+            first = jq.submit(_spec(**self.CKPT))
+            assert first.wait(120) and first.state == "failed"
+            assert first.resumable
+            assert first.summary()["resumable"] is True
+            assert crashes and os.path.exists(crashes[0])  # snapshot kept
+            assert counters["service.simulations_started"] == 1
+
+            # Resubmitting the same spec resumes from the snapshot.
+            second = jq.submit(_spec(**self.CKPT))
+            assert second.job_id != first.job_id
+            assert second.wait(120) and second.state == "done"
+            assert counters["service.resumed_from_checkpoint"] == 1
+            assert counters["service.simulations_started"] == 2
+            assert not os.path.exists(crashes[0])  # consumed on success
+            # Bit-identical to an uninterrupted run, wall clock aside.
+            assert self._sans_host(second.document) == \
+                self._sans_host(reference)
+
+            # The completed result is cached: a third submission is a
+            # pure cache hit with zero new simulation work.
+            third = jq.submit(_spec(**self.CKPT))
+            assert third.finished and third.cache_hit
+            assert third.document == second.document
+            assert counters["service.simulations_started"] == 2
+            assert counters["service.resumed_from_checkpoint"] == 1
+        finally:
+            jq.shutdown()
+
+    def test_timeout_keeps_checkpoint_and_marks_resumable(self, store,
+                                                          monkeypatch):
+        import repro.service.queue as queue_mod
+
+        persisted = []
+
+        def hang_after_persist(job, path):
+            persisted.append(path)
+            time.sleep(30)  # park the abandoned runner past the test
+
+        monkeypatch.setattr(queue_mod, "_after_checkpoint",
+                            hang_after_persist)
+        jq = make_queue(store, workers=1)
+        try:
+            job = jq.submit(_spec(timeout_s=1.0, **self.CKPT))
+            assert job.wait(60) and job.state == "failed"
+            assert job.error["type"] == "timeout"
+            assert "checkpoint retained" in job.error["message"]
+            assert job.resumable
+            assert persisted and os.path.exists(persisted[0])
+            assert jq.registry.counters["service.timeouts"] == 1
+            assert jq.registry.counters["service.timeouts_resumable"] == 1
+            assert job.spec.spec_hash not in store  # no partial result
+        finally:
+            jq.shutdown()
+
+    def test_timeout_without_checkpoint_is_not_resumable(self, store,
+                                                         monkeypatch):
+        monkeypatch.setattr(
+            JobQueue, "_execute",
+            lambda self, job: time.sleep(30) or {})
+        jq = make_queue(store, workers=1)
+        try:
+            job = jq.submit(_spec(timeout_s=0.2))
+            assert job.wait(30) and job.state == "failed"
+            assert job.error["type"] == "timeout"
+            assert not job.resumable
+            assert "timeouts_resumable" not in jq.registry.counters or \
+                jq.registry.counters["service.timeouts_resumable"] == 0
+        finally:
             jq.shutdown()
 
 
