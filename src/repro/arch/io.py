@@ -68,6 +68,33 @@ def load_config(path: PathLike) -> ArchConfig:
 
 # -- canonical config identity ------------------------------------------------
 
+def config_field_names() -> frozenset:
+    """The set of :class:`ArchConfig` field names.
+
+    The single source of truth for "is this a real config field?" checks
+    outside the dataclass itself — the service spec resolver
+    (:mod:`repro.service.hashing`) and the sweep-space validator
+    (:mod:`repro.dse.space`) both reject unknown arch keys against this
+    set, so a typo in a request or a sweep axis fails loudly with the
+    same vocabulary everywhere.
+    """
+    return frozenset(f.name for f in dataclasses.fields(ArchConfig))
+
+
+def config_overrides_dict(base: ArchConfig, cfg: ArchConfig) -> dict:
+    """The semantic fields where ``cfg`` differs from ``base``.
+
+    Both configs are reduced to their canonical dicts first, so
+    non-semantic knobs (telemetry, kernel selection, labels) never show
+    up as differences.  Used by the DSE result frame to display each
+    sweep cell as a minimal delta against the family's base point.
+    """
+    a = config_canonical_dict(base)
+    b = config_canonical_dict(cfg)
+    return {k: v for k, v in b.items() if a.get(k) != v}
+
+
+
 #: :class:`ArchConfig` fields excluded from the content hash.  A field
 #: belongs here only when the verification subsystem *proves* it cannot
 #: change simulation results:

@@ -5,6 +5,7 @@
     python -m repro run quicksort --telemetry --telemetry-out /tmp/obs
     python -m repro obs summarize /tmp/obs
     python -m repro sweep fig8 --sizes 1,8,64 --scale tiny
+    python -m repro sweep examples/sweeps/mesh_family.json --jobs 4
     python -m repro policies quicksort --cores 64
     python -m repro fuzz --cases 25 --seed 0
     python -m repro serve --port 8123 --workers 2 --store /tmp/repro-cache
@@ -12,7 +13,10 @@
 
 ``run`` simulates one benchmark on one architecture and prints the
 headline numbers; ``sweep`` regenerates a figure/table of the paper's
-evaluation; ``policies`` compares all sync policies on one benchmark;
+evaluation — or, given a JSON sweep-spec file, runs a design-space
+exploration through the service job queue and prints the Pareto
+frontier (see docs/dse.md); ``policies`` compares all sync policies on
+one benchmark;
 ``fuzz`` differentially tests the serial and sharded backends against
 each other (see docs/testing.md); ``obs summarize`` renders the metrics
 a ``--telemetry-out`` run wrote (see docs/observability.md); ``serve``
@@ -158,12 +162,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "run(0..k); restore; run(k..end) at a random "
                            "boundary k instead of serial-vs-sharded")
 
-    sweep = sub.add_parser("sweep", help="regenerate a paper figure/table")
-    sweep.add_argument("figure", choices=SWEEPS)
+    sweep = sub.add_parser(
+        "sweep", help="regenerate a paper figure/table, or run a "
+                      "design-space exploration from a sweep-spec file")
+    sweep.add_argument("figure", metavar="figure|specfile",
+                       help=f"one of {', '.join(SWEEPS)}, or the path of "
+                            "a JSON sweep spec (see docs/dse.md)")
     sweep.add_argument("--sizes", type=_sizes, default=(1, 8, 64))
     sweep.add_argument("--scale", choices=tuple(SCALE_PARAMS),
                        default="small")
     sweep.add_argument("--seeds", type=_sizes, default=(0,))
+    # Design-space exploration options (sweep-spec mode only).
+    sweep.add_argument("--jobs", type=int, default=2, metavar="N",
+                       help="concurrent simulation workers (default 2)")
+    sweep.add_argument("--backend", choices=("serial", "sharded"),
+                       default=None,
+                       help="override the base arch backend for every "
+                            "cell (sharded requires --shards)")
+    sweep.add_argument("--shards", type=int, default=0,
+                       help="shard count applied with --backend sharded")
+    sweep.add_argument("--store", default=".repro-service", metavar="DIR",
+                       help="content-hash result cache shared with the "
+                            "service (default .repro-service)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from cached cell results (this is "
+                            "the default: cells are content-addressed, "
+                            "so an interrupted sweep re-simulates only "
+                            "missing cells)")
+    sweep.add_argument("--fresh", action="store_true",
+                       help="evict this sweep's cached cell results "
+                            "first and re-simulate everything")
+    sweep.add_argument("--timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock limit (default 300)")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the deterministic result frame as "
+                            "JSON")
+    sweep.add_argument("--csv", default=None, metavar="PATH",
+                       help="write the flat per-cell CSV export")
 
     serve = sub.add_parser(
         "serve", help="run the simulation service (HTTP JSON API with a "
@@ -464,7 +500,78 @@ def _cmd_fuzz(args, out) -> int:
                      case_json=args.case, snapshot=args.snapshot, out=out)
 
 
+def _cmd_dse_sweep(args, out) -> int:
+    """``sweep`` in design-space exploration mode (repro.dse)."""
+    from .dse import (SweepSpecError, expand_sweep, frame_csv, frame_json,
+                      frontier_table, load_sweep_spec, pareto_chart,
+                      run_sweep)
+
+    if args.fresh and args.resume:
+        print("error: --fresh and --resume are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = load_sweep_spec(args.figure)
+        if args.backend is not None:
+            if args.backend == "sharded" and args.shards < 1:
+                raise SweepSpecError("--backend sharded requires --shards N "
+                                     "(e.g. --shards 4)")
+            if not isinstance(payload, dict):
+                raise SweepSpecError("sweep spec must be a JSON object")
+            base = payload.setdefault("base", {})
+            if not isinstance(base, dict):
+                raise SweepSpecError("'base' must be a JSON object")
+            arch = base.setdefault("arch", {})
+            if not isinstance(arch, dict):
+                raise SweepSpecError("'arch' must be a JSON object")
+            arch["backend"] = args.backend
+            arch["shards"] = args.shards if args.backend == "sharded" else 0
+        plan = expand_sweep(payload)
+    except SweepSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    n_pruned = plan.n_cells - len(plan.feasible_cells())
+    print(f"sweep            : {plan.name} ({plan.short_id})", file=out)
+    print(f"cells            : {plan.n_cells} over "
+          f"{len(plan.axes)} axes ({n_pruned} pruned by budget)", file=out)
+    print(f"result cache     : {args.store}", file=out)
+    outcome = run_sweep(plan, store_dir=args.store, jobs=args.jobs,
+                        fresh=args.fresh, timeout_s=args.timeout)
+    ex = outcome.execution
+    print(f"simulated        : {ex['simulations_started']} new, "
+          f"{ex['cache_hits']} cache hits", file=out)
+    print(f"cells ok/failed  : {ex['cells_ok']} / {ex['cells_failed']}",
+          file=out)
+    print(f"host wall        : {ex['wall_seconds']:.3f} s "
+          f"({args.jobs} workers)", file=out)
+    for cell in outcome.frame["cells"]:
+        if cell["status"] == "failed":
+            err = cell["error"]
+            print(f"  cell {cell['index']} failed [{err['type']}]: "
+                  f"{err['message']}", file=out)
+    print("", file=out)
+    print(frontier_table(outcome.frame), file=out)
+    print("", file=out)
+    print(pareto_chart(outcome.frame), file=out)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(frame_json(outcome.frame))
+        print(f"wrote frame      : {args.out}", file=out)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            fh.write(frame_csv(outcome.frame))
+        print(f"wrote csv        : {args.csv}", file=out)
+    return 1 if ex["cells_failed"] else 0
+
+
 def _cmd_sweep(args, out) -> int:
+    if args.figure not in SWEEPS:
+        if os.path.exists(args.figure):
+            return _cmd_dse_sweep(args, out)
+        print(f"error: {args.figure!r} is neither a known figure "
+              f"({', '.join(SWEEPS)}) nor a sweep-spec file",
+              file=sys.stderr)
+        return 2
     from .harness import (
         clustered_experiment,
         distmem_experiment,

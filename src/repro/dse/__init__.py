@@ -1,0 +1,59 @@
+"""Fleet-scale design-space exploration (DSE) over the simulator.
+
+The paper's pitch is that a fast simulator makes the *many-core design
+space* explorable; this package is the machinery that actually explores
+it.  A JSON **sweep spec** (base config + typed parameter axes) expands
+into a validated cartesian grid of cells (:mod:`~repro.dse.space`), a
+first-order cost/power/area model prunes cells that cannot be built
+within a system budget (:mod:`~repro.dse.models`), the survivors run
+concurrently through the simulation service's cache-first job queue
+(:mod:`~repro.dse.runner`), and the result frame carries the
+n-objective Pareto frontier (:mod:`~repro.dse.pareto`).
+
+Entry points: ``python -m repro sweep <specfile>`` on the command line,
+``POST /v1/sweeps`` on the service, :func:`expand_sweep` +
+:func:`run_sweep` from Python.  See ``docs/dse.md``.
+"""
+
+from .models import (BUDGETS, OBJECTIVES, CostModel, SystemBudget,
+                     cell_metrics, resolve_budget, resolve_cost_model,
+                     resolve_objectives)
+from .pareto import dominates, non_dominated, non_dominated_bruteforce
+from .runner import (FRAME_SCHEMA, SweepManager, SweepOutcome, SweepRun,
+                     build_frame, frame_csv, frame_json, frontier_table,
+                     pareto_chart, run_sweep)
+from .space import (MAX_CELLS, SWEEP_SCHEMA, SweepCell, SweepPlan,
+                    SweepSpecError, expand_sweep, load_sweep_spec,
+                    sweep_summary)
+
+__all__ = [
+    "BUDGETS",
+    "CostModel",
+    "FRAME_SCHEMA",
+    "MAX_CELLS",
+    "OBJECTIVES",
+    "SWEEP_SCHEMA",
+    "SweepCell",
+    "SweepManager",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepRun",
+    "SweepSpecError",
+    "SystemBudget",
+    "build_frame",
+    "cell_metrics",
+    "dominates",
+    "expand_sweep",
+    "frame_csv",
+    "frame_json",
+    "frontier_table",
+    "load_sweep_spec",
+    "non_dominated",
+    "non_dominated_bruteforce",
+    "pareto_chart",
+    "resolve_budget",
+    "resolve_cost_model",
+    "resolve_objectives",
+    "run_sweep",
+    "sweep_summary",
+]

@@ -1,0 +1,247 @@
+"""Cost, power and area models for design-space exploration.
+
+A simulated architecture answers "how fast?"; a design-space decision
+also needs "at what cost?".  This module attaches a lumos-style
+first-order physical model to an :class:`~repro.arch.ArchConfig`:
+
+* every core is assigned a **core class** derived from its resolved
+  speed factor (the same factors the engine charges compute with), with
+  per-class area, static (leakage) and peak dynamic power scaled by
+  Pollack-style exponents — a core ``s``x faster costs
+  ``s**area_exponent`` more area and ``s**power_exponent`` more dynamic
+  power, so heterogeneous (polymorphic) meshes trade real silicon for
+  their fast cores;
+* the uncore (NoC routers, shared fabric, memory organization) adds a
+  per-core and a flat term, with the memory organization (shared bank
+  array vs. NUMA vs. distributed cells) priced differently;
+* a :class:`SystemBudget` turns the totals into a **feasibility
+  filter**: cells whose static evaluation already violates the power or
+  area envelope are pruned *before* simulation, which is what lets a
+  sweep over thousands of cells spend simulation time only on buildable
+  systems.
+
+Everything here is a pure function of the config — deterministic floats,
+no randomness, no host dependence — so cost numbers are as cacheable and
+reproducible as the simulation results they annotate.  The absolute
+values are first-order (a 45 nm-flavoured flagship mesh, not a signed-off
+floorplan); what matters for exploration is that they order designs
+consistently, the same way the paper's timing model orders them by speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional
+
+from ..arch.config import ArchConfig
+from ..core.errors import SimConfigError
+
+#: Memory-organization uncore costs (area mm^2, power W): a shared bank
+#: array is the biggest block, NUMA's distributed banks + directory sit
+#: in the middle, fully distributed per-core cells are the leanest.
+MEMORY_AREA_MM2 = {"shared": 16.0, "numa": 12.0, "distributed": 8.0}
+MEMORY_POWER_W = {"shared": 4.0, "numa": 3.0, "distributed": 2.0}
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """First-order silicon model applied uniformly to every sweep cell.
+
+    The base values describe the reference core (speed factor 1.0); a
+    core with resolved speed ``s`` (``1 / speed_factor``) costs
+    ``area * s**area_exponent`` and burns ``dynamic * s**power_exponent``
+    at peak, static power scaling with area.  All fields are plain
+    floats so a sweep spec can override any of them as JSON.
+    """
+
+    base_core_area_mm2: float = 4.0
+    base_core_static_w: float = 0.3
+    base_core_dynamic_w: float = 1.2
+    #: Pollack's rule flavour: performance ~ sqrt(area) => area ~ s^2;
+    #: 1.75 keeps fast cores expensive but not absurd.
+    area_exponent: float = 1.75
+    #: Dynamic power vs. single-core speed (frequency+voltage scaling).
+    power_exponent: float = 2.0
+    router_area_mm2: float = 0.6
+    router_power_w: float = 0.15
+    uncore_area_mm2: float = 12.0
+    uncore_power_w: float = 3.0
+
+    def evaluate(self, cfg: ArchConfig) -> Dict[str, Any]:
+        """Static cost evaluation of one configuration.
+
+        Returns a plain-JSON dict: total ``area_mm2``,
+        ``static_power_w``, ``peak_dynamic_power_w`` and ``peak_power_w``
+        (static + peak dynamic), plus a ``core_classes`` breakdown keyed
+        by class name (``base`` / ``fast`` / ``eff``) with per-class
+        counts and unit costs.  Deterministic: same config, same floats.
+        """
+        classes: Dict[str, Dict[str, Any]] = {}
+        area = self.uncore_area_mm2 + MEMORY_AREA_MM2[cfg.memory]
+        static = self.uncore_power_w + MEMORY_POWER_W[cfg.memory]
+        dynamic = 0.0
+        for factor in cfg.resolved_speed_factors():
+            speed = 1.0 / factor
+            name = ("base" if factor == 1.0
+                    else "fast" if speed > 1.0 else "eff")
+            cls = classes.get(name)
+            if cls is None:
+                unit_area = self.base_core_area_mm2 * speed ** self.area_exponent
+                cls = classes[name] = {
+                    "count": 0,
+                    "speed": round(speed, 6),
+                    "area_mm2": round(unit_area, 6),
+                    "static_w": round(
+                        self.base_core_static_w * speed ** self.area_exponent,
+                        6),
+                    "dynamic_w": round(
+                        self.base_core_dynamic_w * speed ** self.power_exponent,
+                        6),
+                }
+            cls["count"] += 1
+            area += cls["area_mm2"] + self.router_area_mm2
+            static += cls["static_w"] + self.router_power_w
+            dynamic += cls["dynamic_w"]
+        return {
+            "area_mm2": round(area, 6),
+            "static_power_w": round(static, 6),
+            "peak_dynamic_power_w": round(dynamic, 6),
+            "peak_power_w": round(static + dynamic, 6),
+            "core_classes": {k: classes[k] for k in sorted(classes)},
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemBudget:
+    """System envelope a feasible design must fit inside.
+
+    ``None`` disables a dimension.  :meth:`violations` names every
+    breached limit (not just the first), so a pruned cell's frame entry
+    says exactly why it never simulated.
+    """
+
+    max_power_w: Optional[float] = None
+    max_area_mm2: Optional[float] = None
+    max_cores: Optional[int] = None
+
+    def violations(self, cost: Dict[str, Any],
+                   cfg: ArchConfig) -> List[str]:
+        """Budget breaches for one statically-evaluated cell."""
+        out = []
+        if (self.max_power_w is not None
+                and cost["peak_power_w"] > self.max_power_w):
+            out.append(f"peak power {cost['peak_power_w']:g} W exceeds "
+                       f"budget {self.max_power_w:g} W")
+        if (self.max_area_mm2 is not None
+                and cost["area_mm2"] > self.max_area_mm2):
+            out.append(f"area {cost['area_mm2']:g} mm2 exceeds "
+                       f"budget {self.max_area_mm2:g} mm2")
+        if self.max_cores is not None and cfg.n_cores > self.max_cores:
+            out.append(f"{cfg.n_cores} cores exceed budget "
+                       f"{self.max_cores} cores")
+        return out
+
+
+#: Named budget presets, lumos-style (SysSmall/Medium/Large): a mobile
+#: SoC envelope, a desktop socket, and a server socket.
+BUDGETS: Dict[str, SystemBudget] = {
+    "small": SystemBudget(max_power_w=45.0, max_area_mm2=160.0),
+    "medium": SystemBudget(max_power_w=125.0, max_area_mm2=400.0),
+    "large": SystemBudget(max_power_w=260.0, max_area_mm2=700.0),
+}
+
+
+def resolve_budget(payload: Any) -> SystemBudget:
+    """A :class:`SystemBudget` from a sweep-spec ``budget`` section.
+
+    Accepts ``None`` (no limits), a preset name from :data:`BUDGETS`, or
+    an object with ``max_power_w`` / ``max_area_mm2`` / ``max_cores``
+    keys; anything else is a config error.
+    """
+    if payload is None:
+        return SystemBudget()
+    if isinstance(payload, str):
+        if payload not in BUDGETS:
+            raise SimConfigError(f"unknown budget preset {payload!r}; "
+                                 f"choose from {sorted(BUDGETS)}")
+        return BUDGETS[payload]
+    if not isinstance(payload, dict):
+        raise SimConfigError("'budget' must be a preset name or an object")
+    known = {f.name for f in dataclasses.fields(SystemBudget)}
+    unknown = set(payload) - known
+    if unknown:
+        raise SimConfigError(f"unknown budget field(s): {sorted(unknown)}; "
+                             f"valid fields: {sorted(known)}")
+    for key, value in payload.items():
+        if value is not None and (not isinstance(value, (int, float))
+                                  or isinstance(value, bool) or value <= 0):
+            raise SimConfigError(
+                f"budget field {key!r} must be a positive number, "
+                f"got {value!r}")
+    return SystemBudget(**payload)
+
+
+def resolve_cost_model(payload: Any) -> CostModel:
+    """A :class:`CostModel` from a sweep-spec ``cost_model`` section
+    (``None`` for the defaults; unknown keys are rejected by name)."""
+    if payload is None:
+        return CostModel()
+    if not isinstance(payload, dict):
+        raise SimConfigError("'cost_model' must be a JSON object")
+    known = {f.name for f in dataclasses.fields(CostModel)}
+    unknown = set(payload) - known
+    if unknown:
+        raise SimConfigError(f"unknown cost_model field(s): "
+                             f"{sorted(unknown)}; valid fields: "
+                             f"{sorted(known)}")
+    for key, value in payload.items():
+        if (not isinstance(value, (int, float)) or isinstance(value, bool)
+                or value <= 0):
+            raise SimConfigError(
+                f"cost_model field {key!r} must be a positive number, "
+                f"got {value!r}")
+    return CostModel(**{k: float(v) for k, v in payload.items()})
+
+
+# -- objectives ---------------------------------------------------------------
+
+#: Objective registry: name -> (sense, metric key).  ``perf`` is the
+#: reciprocal of virtual completion time (bigger is better); everything
+#: else is minimized.  ``energy`` is the peak-power x virtual-time proxy
+#: (watt-megacycles) — deterministic because virtual time is.
+OBJECTIVES: Dict[str, tuple] = {
+    "perf": ("max", "perf"),
+    "vtime": ("min", "work_vtime"),
+    "power": ("min", "peak_power_w"),
+    "area": ("min", "area_mm2"),
+    "energy": ("min", "energy"),
+}
+
+
+def resolve_objectives(payload: Any) -> List[str]:
+    """Validated objective-name list (default ``perf, power, area``)."""
+    if payload is None:
+        return ["perf", "power", "area"]
+    if (not isinstance(payload, list) or not payload
+            or not all(isinstance(x, str) for x in payload)):
+        raise SimConfigError("'objectives' must be a non-empty list of "
+                             f"names from {sorted(OBJECTIVES)}")
+    unknown = [x for x in payload if x not in OBJECTIVES]
+    if unknown:
+        raise SimConfigError(f"unknown objective(s) {unknown}; "
+                             f"choose from {sorted(OBJECTIVES)}")
+    if len(set(payload)) != len(payload):
+        raise SimConfigError(f"duplicate objectives in {payload}")
+    return list(payload)
+
+
+def cell_metrics(cost: Dict[str, Any],
+                 work_vtime: float) -> Dict[str, float]:
+    """The per-cell metric dict objectives are evaluated against."""
+    return {
+        "work_vtime": work_vtime,
+        "perf": round(1e6 / work_vtime, 9) if work_vtime else 0.0,
+        "peak_power_w": cost["peak_power_w"],
+        "area_mm2": cost["area_mm2"],
+        "energy": round(cost["peak_power_w"] * work_vtime / 1e6, 9),
+    }

@@ -117,6 +117,81 @@ def _fmt_axis(value: float) -> str:
     return f"{value:.2g}"
 
 
+def _lin_positions(values: Sequence[float], lo: float, hi: float,
+                   cells: int) -> List[int]:
+    """Map values onto [0, cells-1] on a linear scale."""
+    span = hi - lo
+    out = []
+    for value in values:
+        frac = (value - lo) / span if span else 0.5
+        out.append(max(0, min(cells - 1, round(frac * (cells - 1)))))
+    return out
+
+
+def render_scatter(
+    series: Mapping[str, Sequence[Sequence[float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render point clouds as a linear-scale ASCII scatter plot.
+
+    ``series`` maps series name -> list of (x, y) points; series are
+    drawn in sorted-name order, so a later-sorting series (e.g. a Pareto
+    frontier over its cell cloud) overwrites glyphs where they collide.
+    The legend maps glyphs to series names.
+    """
+    points = [
+        (float(x), float(y))
+        for pts in series.values()
+        for x, y in pts
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return f"{title}\n(no data)"
+    x_lo, x_hi = min(p[0] for p in points), max(p[0] for p in points)
+    y_lo, y_hi = min(p[1] for p in points), max(p[1] for p in points)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(sorted(series.items())):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"  {glyph} {name} ({len(pts)})")
+        finite = [(float(x), float(y)) for x, y in pts
+                  if math.isfinite(x) and math.isfinite(y)]
+        if not finite:
+            continue
+        cols = _lin_positions([p[0] for p in finite], x_lo, x_hi, width)
+        rows = _lin_positions([p[1] for p in finite], y_lo, y_hi, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = _fmt_axis(y_hi)
+    bottom_label = _fmt_axis(y_lo)
+    pad = max(len(top_label), len(bottom_label), len(y_label) + 1)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        elif i == height // 2:
+            label = y_label
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    lo_s, hi_s = _fmt_axis(x_lo), _fmt_axis(x_hi)
+    gap = " " * max(1, width - len(lo_s) - len(hi_s))
+    lines.append(" " * pad + "  " + lo_s + gap + hi_s + f"  ({x_label})")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
 def render_histogram(bounds: Sequence[float], counts: Sequence[int],
                      title: Optional[str] = None, width: int = 40) -> str:
     """Render a bucketed histogram as horizontal ASCII bars.

@@ -16,6 +16,10 @@ Endpoints (all JSON; see docs/service.md for the full reference):
 ``GET  /v1/jobs/<id>``      one job: state, timings, result / live telemetry
 ``GET  /v1/results/<hash>`` stored result document, served verbatim
 ``GET  /v1/metrics``        service counters (submissions, hits, dedupes, ...)
+``POST /v1/sweeps``         submit a design-space sweep spec (``?wait=1``
+                            blocks for the frame; see docs/dse.md)
+``GET  /v1/sweeps``         list known sweeps (lifecycle summaries)
+``GET  /v1/sweeps/<id>``    one sweep: state, execution counters, frame
 ==========================  ==================================================
 
 Every error response is structured:
@@ -70,6 +74,12 @@ class SimulationService:
         self.queue = JobQueue(self.store, workers=workers, depth=depth,
                               default_timeout_s=job_timeout_s,
                               registry=self.registry)
+        # Imported here, not at module top: repro.dse depends on the
+        # service package's queue/hashing modules, so a top-level import
+        # from this module would be circular.
+        from ..dse.runner import SweepManager
+
+        self.sweeps = SweepManager(self.queue, timeout_s=job_timeout_s)
         self.quiet = quiet
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
@@ -122,6 +132,31 @@ class SimulationService:
                 body["telemetry_live"] = snap
         if include_result and job.state == "done":
             body["result"] = job.document
+        return body
+
+    def submit_sweep(self, payload: Any,
+                     wait: bool = False) -> Tuple[int, Dict[str, Any]]:
+        """Expand + launch one sweep spec; returns (HTTP status, body).
+
+        Expansion happens on the handler thread so a malformed spec
+        fails as a 400 before anything simulates; execution runs the
+        cells through the service's own worker pool.
+        """
+        from ..dse import expand_sweep
+
+        plan = expand_sweep(payload)  # SweepSpecError -> 400 at the handler
+        run = self.sweeps.submit(plan)
+        if wait and not run.finished:
+            run.wait(MAX_WAIT_S)
+        status = 200 if run.finished else 202
+        return status, self.sweep_body(run)
+
+    def sweep_body(self, run: Any,
+                   include_frame: bool = True) -> Dict[str, Any]:
+        """A sweep run's wire representation: summary + result frame."""
+        body = run.summary()
+        if include_frame and run.state == "done" and run.outcome is not None:
+            body["frame"] = run.outcome.frame
         return body
 
     def metrics_body(self) -> Dict[str, Any]:
@@ -213,6 +248,20 @@ class _Handler(BaseHTTPRequestHandler):
                                           f"no cached result {parts[2]!r}")
                 else:
                     self._send_bytes(200, raw)
+            elif parts == ["v1", "sweeps"]:
+                runs = [r.summary() for r in self.service.sweeps.runs()]
+                self._send_json(200, {"sweeps": runs})
+            elif len(parts) == 3 and parts[:2] == ["v1", "sweeps"]:
+                run = self.service.sweeps.get(parts[2])
+                if run is None:
+                    self._send_error_json(404, "unknown_sweep",
+                                          f"no sweep {parts[2]!r}")
+                else:
+                    query = parse_qs(url.query)
+                    include = "0" not in query.get("frame", ["1"])
+                    self._send_json(
+                        200, self.service.sweep_body(
+                            run, include_frame=include))
             elif parts == ["v1", "metrics"]:
                 self._send_json(200, self.service.metrics_body())
             else:
@@ -229,6 +278,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["v1", "jobs"]:
                 status, body = self.service.submit(self._read_body())
+                self._send_json(status, body)
+            elif parts == ["v1", "sweeps"]:
+                query = parse_qs(url.query)
+                wait = "1" in query.get("wait", [])
+                status, body = self.service.submit_sweep(
+                    self._read_body(), wait=wait)
                 self._send_json(status, body)
             else:
                 self._send_error_json(404, "unknown_endpoint",

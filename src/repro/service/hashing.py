@@ -47,7 +47,7 @@ from ..arch import (
     shared_mesh,
     single_core,
 )
-from ..arch.io import config_canonical_dict
+from ..arch.io import config_canonical_dict, config_field_names
 from ..core.errors import SimConfigError
 from ..workloads import BENCHMARKS, SCALE_PARAMS
 
@@ -195,8 +195,7 @@ def _resolve_arch(payload: Optional[Dict[str, Any]]) -> ArchConfig:
         raise SpecError("'arch' must be a JSON object")
     payload = dict(payload)  # never mutate the caller's request
     preset = payload.pop("preset", None)
-    known = {f.name for f in dataclasses.fields(ArchConfig)}
-    unknown = set(payload) - known
+    unknown = set(payload) - config_field_names()
     if unknown:
         raise SpecError(f"unknown arch field(s): {sorted(unknown)}")
     _check_arch_field_types(payload)

@@ -1,0 +1,95 @@
+"""Property tests for the n-objective Pareto filter.
+
+The fast filter (presorted simple cull) is pinned against an
+independently-written brute-force O(n^2) oracle on arbitrary point
+clouds, including the two cases an optimized filter most easily gets
+wrong: **duplicate points** (weak dominance — duplicates never dominate
+each other, so all copies survive) and the **single-objective**
+degenerate case (the frontier is exactly the optimum-value points).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse.pareto import (dominates, non_dominated,
+                              non_dominated_bruteforce)
+
+# Small-integer coordinates force ties and duplicates; the occasional
+# real float keeps the filter honest about non-lattice clouds.
+coord = st.one_of(
+    st.integers(-3, 3).map(float),
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def clouds(draw):
+    k = draw(st.integers(min_value=1, max_value=4))
+    senses = tuple(draw(st.sampled_from(["min", "max"]))
+                   for _ in range(k))
+    points = draw(st.lists(st.tuples(*([coord] * k)), max_size=24))
+    return points, senses
+
+
+@given(clouds())
+@settings(max_examples=300, deadline=None)
+def test_filter_matches_bruteforce(cloud):
+    points, senses = cloud
+    assert non_dominated(points, senses) == \
+        non_dominated_bruteforce(points, senses)
+
+
+@given(clouds())
+@settings(max_examples=150, deadline=None)
+def test_frontier_invariants(cloud):
+    """No member dominates another; every outsider is dominated."""
+    points, senses = cloud
+    keyed = [tuple(x if s == "min" else -x for x, s in zip(p, senses))
+             for p in points]
+    front = set(non_dominated(points, senses))
+    for i in front:
+        assert not any(dominates(keyed[j], keyed[i]) for j in front)
+    for i in range(len(points)):
+        if i not in front:
+            assert any(dominates(keyed[j], keyed[i]) for j in front)
+
+
+@given(st.lists(coord, min_size=1, max_size=24),
+       st.sampled_from(["min", "max"]))
+@settings(max_examples=150, deadline=None)
+def test_single_objective_frontier_is_the_optimum(values, sense):
+    best = min(values) if sense == "min" else max(values)
+    expected = [i for i, v in enumerate(values) if v == best]
+    assert non_dominated([(v,) for v in values], (sense,)) == expected
+
+
+@given(st.tuples(coord, coord), st.integers(min_value=2, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_duplicates_all_survive(point, copies):
+    cloud = [point] * copies
+    assert non_dominated(cloud, ("min", "max")) == list(range(copies))
+
+
+def test_duplicates_survive_beside_distinct_points():
+    cloud = [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0), (0.0, 3.0)]
+    assert non_dominated(cloud, ("min", "min")) == [0, 1, 3]
+
+
+def test_mixed_senses_example():
+    # Maximize x, minimize y: (3,1) beats (2,2); (1,0) survives on y.
+    assert non_dominated([(2, 2), (3, 1), (1, 0)],
+                         ("max", "min")) == [1, 2]
+
+
+def test_empty_cloud():
+    assert non_dominated([], ("min",)) == []
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="senses"):
+        non_dominated([(1.0,)], ("down",))
+    with pytest.raises(ValueError, match="coordinates"):
+        non_dominated([(1.0, 2.0)], ("min",))
